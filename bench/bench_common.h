@@ -1,0 +1,24 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/workload.h"
+
+namespace amoeba::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("=============================================================\n");
+}
+
+/// Percentage deviation of measured from the paper's value.
+inline double dev(double measured, double paper) {
+  return paper == 0 ? 0 : 100.0 * (measured - paper) / paper;
+}
+
+}  // namespace amoeba::bench

@@ -1,0 +1,80 @@
+// Fig. 7 of the paper: single-client latency of the three directory
+// workloads for the four implementations. All times in milliseconds.
+//
+//                     Group(3)  RPC(2)  SunNFS(1)  Group+NVRAM(3)
+//   Append-delete        184      192       87            27
+//   Tmp file             215      277      111            52
+//   Directory lookup       5        5        6             5
+#include "bench_common.h"
+
+namespace amoeba::bench {
+namespace {
+
+struct Row {
+  const char* name;
+  double paper[4];
+  double measured[4];
+};
+
+void run() {
+  header("Figure 7: single-client latency (ms)",
+         "Kaashoek et al. 1993, Fig. 7");
+
+  const harness::Flavor flavors[4] = {
+      harness::Flavor::group, harness::Flavor::rpc, harness::Flavor::nfs,
+      harness::Flavor::group_nvram};
+  Row rows[3] = {
+      {"Append-delete", {184, 192, 87, 27}, {}},
+      {"Tmp file", {215, 277, 111, 52}, {}},
+      {"Directory lookup", {5, 5, 6, 5}, {}},
+  };
+
+  // Average over several seeds (the paper averaged over many runs).
+  const std::vector<std::uint64_t> seeds{3, 17, 91};
+  for (int f = 0; f < 4; ++f) {
+    std::vector<double> ad, tf, lk;
+    for (std::uint64_t seed : seeds) {
+      harness::Testbed bed(
+          {.flavor = flavors[f], .clients = 1, .seed = seed});
+      if (!bed.wait_ready()) continue;
+      auto r = harness::measure_latencies(bed);
+      if (!r.ok) continue;
+      ad.push_back(r.append_delete_ms);
+      tf.push_back(r.tmp_file_ms);
+      lk.push_back(r.lookup_ms);
+    }
+    rows[0].measured[f] = harness::summarize(ad).mean;
+    rows[1].measured[f] = harness::summarize(tf).mean;
+    rows[2].measured[f] = harness::summarize(lk).mean;
+  }
+
+  std::printf("%-18s | %21s | %21s | %21s | %21s\n", "Operation",
+              "Group(3)", "RPC(2)", "Sun NFS(1)", "Group+NVRAM(3)");
+  std::printf("%-18s | %10s %10s | %10s %10s | %10s %10s | %10s %10s\n", "",
+              "paper", "measured", "paper", "measured", "paper", "measured",
+              "paper", "measured");
+  for (const Row& row : rows) {
+    std::printf("%-18s |", row.name);
+    for (int f = 0; f < 4; ++f) {
+      std::printf(" %10.0f %10.1f |", row.paper[f], row.measured[f]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nKey ratios (paper -> measured):\n");
+  std::printf("  NVRAM speedup vs group, append-delete: 6.8x -> %.1fx\n",
+              rows[0].measured[0] / rows[0].measured[3]);
+  std::printf("  NVRAM speedup vs group, tmp file:      4.3x -> %.1fx\n",
+              rows[1].measured[0] / rows[1].measured[3]);
+  std::printf("  Fault-tolerance cost vs NFS, append-delete: 2.1x -> %.1fx\n",
+              rows[0].measured[0] / rows[0].measured[2]);
+  std::printf("  Fault-tolerance cost vs NFS, tmp file:      1.9x -> %.1fx\n",
+              rows[1].measured[0] / rows[1].measured[2]);
+  std::printf("  Group faster than RPC on updates: yes -> %s\n",
+              rows[0].measured[0] < rows[0].measured[1] ? "yes" : "NO");
+}
+
+}  // namespace
+}  // namespace amoeba::bench
+
+int main() { amoeba::bench::run(); }

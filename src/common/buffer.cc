@@ -1,0 +1,13 @@
+#include "common/buffer.h"
+
+namespace amoeba {
+
+Buffer to_buffer(std::string_view s) {
+  return Buffer(s.begin(), s.end());
+}
+
+std::string to_string(const Buffer& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace amoeba

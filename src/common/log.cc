@@ -1,0 +1,83 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace amoeba::log {
+namespace {
+
+// Logging configuration is global; a mutex keeps the (rare) writes safe even
+// though the simulator itself is single-threaded-at-a-time.
+std::mutex g_mutex;
+Level g_level = Level::warn;
+Sink g_sink;   // empty => stderr
+Clock g_clock; // empty => no timestamp
+
+const char* level_tag(Level l) {
+  switch (l) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO ";
+    case Level::warn: return "WARN ";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) {
+  std::lock_guard lock(g_mutex);
+  g_level = level;
+}
+
+Level level() {
+  std::lock_guard lock(g_mutex);
+  return g_level;
+}
+
+void set_sink(Sink sink) {
+  std::lock_guard lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_clock(Clock clock) {
+  std::lock_guard lock(g_mutex);
+  g_clock = std::move(clock);
+}
+
+void clear_clock() {
+  std::lock_guard lock(g_mutex);
+  g_clock = nullptr;
+}
+
+namespace detail {
+
+void emit(Level level, const std::string& msg) {
+  Sink sink;
+  Clock clock;
+  {
+    std::lock_guard lock(g_mutex);
+    sink = g_sink;
+    clock = g_clock;
+  }
+  std::string line;
+  if (clock) {
+    const std::int64_t us = clock();
+    char ts[32];
+    std::snprintf(ts, sizeof ts, "[%8.3fms] ", static_cast<double>(us) / 1000.0);
+    line += ts;
+  }
+  line += level_tag(level);
+  line += " ";
+  line += msg;
+  if (sink) {
+    sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace detail
+}  // namespace amoeba::log

@@ -1,0 +1,58 @@
+// Minimal leveled logger. Services log through LOG_DEBUG/INFO/... macros;
+// the sink prepends the simulated timestamp when a simulator is active.
+// Logging defaults to Warn so tests and benchmarks stay quiet.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace amoeba::log {
+
+enum class Level { trace = 0, debug, info, warn, error, off };
+
+void set_level(Level level);
+Level level();
+
+/// Replace the output sink (default: stderr). Used by tests to capture logs.
+using Sink = std::function<void(Level, const std::string&)>;
+void set_sink(Sink sink);
+
+/// Optional clock, installed by the simulator so log lines carry sim time.
+using Clock = std::function<std::int64_t()>;
+void set_clock(Clock clock);
+void clear_clock();
+
+namespace detail {
+void emit(Level level, const std::string& msg);
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { emit(level_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace amoeba::log
+
+#define AMOEBA_LOG(lvl)                         \
+  if (::amoeba::log::level() <= (lvl))          \
+  ::amoeba::log::detail::LineBuilder(lvl)
+
+#define LOG_TRACE AMOEBA_LOG(::amoeba::log::Level::trace)
+#define LOG_DEBUG AMOEBA_LOG(::amoeba::log::Level::debug)
+#define LOG_INFO AMOEBA_LOG(::amoeba::log::Level::info)
+#define LOG_WARN AMOEBA_LOG(::amoeba::log::Level::warn)
+#define LOG_ERROR AMOEBA_LOG(::amoeba::log::Level::error)

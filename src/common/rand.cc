@@ -1,0 +1,31 @@
+#include "common/rand.h"
+
+namespace amoeba {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Prng::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  return mix64(state_);
+}
+
+std::uint64_t Prng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  return next() % bound;
+}
+
+std::int64_t Prng::range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double Prng::uniform() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace amoeba

@@ -1,0 +1,34 @@
+// Deterministic pseudo-randomness. Every simulation owns one Prng seeded at
+// construction, so a whole cluster run (network jitter, locate races, check
+// fields) replays identically for a given seed.
+#pragma once
+
+#include <cstdint>
+
+namespace amoeba {
+
+/// SplitMix64: tiny, fast, and good enough for jitter and check fields.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-way mix used for capability check fields (stand-in for Amoeba's
+/// F-box; see DESIGN.md substitutions).
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace amoeba

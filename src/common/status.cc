@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace amoeba {
+
+std::string_view errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::timeout: return "timeout";
+    case Errc::not_found: return "not_found";
+    case Errc::exists: return "exists";
+    case Errc::no_majority: return "no_majority";
+    case Errc::refused: return "refused";
+    case Errc::io_error: return "io_error";
+    case Errc::bad_capability: return "bad_capability";
+    case Errc::bad_request: return "bad_request";
+    case Errc::conflict: return "conflict";
+    case Errc::unreachable: return "unreachable";
+    case Errc::group_failure: return "group_failure";
+    case Errc::aborted: return "aborted";
+    case Errc::full: return "full";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string s{errc_name(code_)};
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace amoeba

@@ -1,0 +1,97 @@
+#include "dir/client.h"
+
+namespace amoeba::dir {
+
+Result<Buffer> DirClient::call(Buffer request) {
+  auto res = rpc_.trans(port_, std::move(request), opts_);
+  if (!res.is_ok()) return res.status();
+  Status st = reply_status(*res);
+  if (!st.is_ok()) return st;
+  Buffer payload(res->begin() + 1, res->end());
+  return payload;
+}
+
+Result<cap::Capability> DirClient::create_dir(
+    const std::vector<std::string>& columns) {
+  auto res = call(make_create_dir(columns));
+  if (!res.is_ok()) return res.status();
+  try {
+    Reader r(*res);
+    cap::Capability c = cap::Capability::decode(r);
+    return c;
+  } catch (const DecodeError&) {
+    return Status::error(Errc::bad_request, "malformed create reply");
+  }
+}
+
+Status DirClient::delete_dir(const cap::Capability& dir) {
+  return call(make_delete_dir(dir)).status();
+}
+
+Result<Directory> DirClient::list_dir(const cap::Capability& dir) {
+  auto res = call(make_list_dir(dir));
+  if (!res.is_ok()) return res.status();
+  try {
+    Reader r(*res);
+    return Directory::decode(r);
+  } catch (const DecodeError&) {
+    return Status::error(Errc::bad_request, "malformed list reply");
+  }
+}
+
+Status DirClient::append_row(const cap::Capability& dir,
+                             const std::string& name,
+                             const std::vector<cap::Capability>& cols) {
+  return call(make_append_row(dir, name, cols)).status();
+}
+
+Status DirClient::chmod_row(const cap::Capability& dir, const std::string& name,
+                            std::uint16_t column, cap::Rights mask) {
+  return call(make_chmod_row(dir, name, column, mask)).status();
+}
+
+Status DirClient::delete_row(const cap::Capability& dir,
+                             const std::string& name) {
+  return call(make_delete_row(dir, name)).status();
+}
+
+Result<std::vector<std::vector<cap::Capability>>> DirClient::lookup_set(
+    const std::vector<LookupTarget>& targets) {
+  auto res = call(make_lookup_set(targets));
+  if (!res.is_ok()) return res.status();
+  try {
+    Reader r(*res);
+    const std::uint16_t n = r.u16();
+    std::vector<std::vector<cap::Capability>> out;
+    out.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      const std::uint16_t nc = r.u16();
+      std::vector<cap::Capability> cols;
+      cols.reserve(nc);
+      for (std::uint16_t k = 0; k < nc; ++k) {
+        cols.push_back(cap::Capability::decode(r));
+      }
+      out.push_back(std::move(cols));
+    }
+    return out;
+  } catch (const DecodeError&) {
+    return Status::error(Errc::bad_request, "malformed lookup reply");
+  }
+}
+
+Result<cap::Capability> DirClient::lookup(const cap::Capability& dir,
+                                          const std::string& name,
+                                          std::uint16_t col) {
+  auto res = lookup_set({{dir, name}});
+  if (!res.is_ok()) return res.status();
+  if (res->size() != 1 || col >= (*res)[0].size()) {
+    return Status::error(Errc::not_found, "column missing");
+  }
+  return (*res)[0][col];
+}
+
+Status DirClient::replace_set(const std::vector<ReplaceTarget>& targets) {
+  return call(make_replace_set(targets)).status();
+}
+
+}  // namespace amoeba::dir

@@ -1,0 +1,64 @@
+// Client library for the directory service. All three server
+// implementations speak the same wire protocol, so one client works against
+// any of them — exactly how Amoeba clients were oblivious to which directory
+// service implementation was deployed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dir/proto.h"
+#include "rpc/rpc.h"
+
+namespace amoeba::dir {
+
+class DirClient {
+ public:
+  DirClient(rpc::RpcClient& rpc, net::Port service_port,
+            rpc::TransOptions trans_opts = {.timeout = sim::sec(3),
+                                            .locate_timeout = sim::msec(200),
+                                            .max_failovers = 64})
+      : rpc_(rpc), port_(service_port), opts_(trans_opts) {}
+
+  /// Create a directory with the given protection columns; returns the
+  /// owner (all-rights) capability.
+  Result<cap::Capability> create_dir(const std::vector<std::string>& columns);
+
+  Status delete_dir(const cap::Capability& dir);
+
+  Result<Directory> list_dir(const cap::Capability& dir);
+
+  /// Append a (name, capability-set) row.
+  Status append_row(const cap::Capability& dir, const std::string& name,
+                    const std::vector<cap::Capability>& cols);
+
+  /// Restrict the rights of the capability stored in one column of a row.
+  Status chmod_row(const cap::Capability& dir, const std::string& name,
+                   std::uint16_t column, cap::Rights mask);
+
+  Status delete_row(const cap::Capability& dir, const std::string& name);
+
+  /// Look up several rows at once; returns each row's capability columns.
+  Result<std::vector<std::vector<cap::Capability>>> lookup_set(
+      const std::vector<LookupTarget>& targets);
+
+  /// Convenience single lookup of column `col`.
+  Result<cap::Capability> lookup(const cap::Capability& dir,
+                                 const std::string& name,
+                                 std::uint16_t col = 0);
+
+  /// Atomically replace column 0 of each named row.
+  Status replace_set(const std::vector<ReplaceTarget>& targets);
+
+  [[nodiscard]] net::Port port() const { return port_; }
+  [[nodiscard]] rpc::RpcClient& rpc() { return rpc_; }
+
+ private:
+  Result<Buffer> call(Buffer request);
+
+  rpc::RpcClient& rpc_;
+  net::Port port_;
+  rpc::TransOptions opts_;
+};
+
+}  // namespace amoeba::dir

@@ -1,0 +1,763 @@
+#include "dir/group_server.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "bullet/bullet.h"
+#include "common/log.h"
+#include "dir/nvram_log.h"
+#include "dir/proto.h"
+#include "disk/disk_server.h"
+#include "nvram/nvram.h"
+#include "rpc/rpc.h"
+#include "sim/waitq.h"
+
+namespace amoeba::dir {
+
+namespace {
+
+using net::Machine;
+using net::MachineId;
+using net::Port;
+
+using AdminOp = GroupAdminOp;
+
+/// Everything the server's processes share. Allocated in the service-main
+/// frame; worker processes are spawned afterwards, so the reverse-order
+/// crash unwind tears them down before this goes away.
+struct ServerCtx {
+  Machine& machine;
+  GroupDirOptions opts;
+  int my_index;
+  DirState state;
+  CommitBlock cblock;
+  std::uint64_t my_seqno = 0;
+
+  std::unique_ptr<group::GroupMember> gm;
+  std::uint64_t applied_seqno = 0;
+  sim::WaitQueue applied_wq;
+  std::map<std::uint64_t, Buffer> completions;
+  sim::WaitQueue completion_wq;
+  std::uint64_t next_opid = 1;
+  bool in_recovery = true;
+  bool continuously_up = false;
+  sim::Time last_client_op = 0;
+  std::uint64_t pending_commit_seqno = 0;  // delete-dir seqno awaiting flush
+
+  nvram::Nvram* nv = nullptr;
+  bool flushing = false;
+  sim::WaitQueue flush_wq;
+
+  GroupDirStats* stats = nullptr;
+
+  ServerCtx(Machine& m, GroupDirOptions o, int idx)
+      : machine(m),
+        opts(std::move(o)),
+        my_index(idx),
+        state(opts.dir_port),
+        applied_wq(m.sim()),
+        completion_wq(m.sim()),
+        flush_wq(m.sim()) {}
+
+  sim::Simulator& sim() { return machine.sim(); }
+  sim::Time now() { return machine.sim().now(); }
+  [[nodiscard]] int nservers() const {
+    return static_cast<int>(opts.dir_servers.size());
+  }
+  [[nodiscard]] std::uint32_t all_mask() const {
+    return (1u << nservers()) - 1;
+  }
+  [[nodiscard]] bool majority() const {
+    if (!gm) return false;
+    group::GroupInfo gi = gm->info();
+    return gi.state == group::MemberState::normal &&
+           2 * static_cast<int>(gi.members.size()) > nservers();
+  }
+  [[nodiscard]] int index_of(MachineId m) const {
+    for (int i = 0; i < nservers(); ++i) {
+      if (opts.dir_servers[static_cast<std::size_t>(i)] == m) return i;
+    }
+    return -1;
+  }
+};
+
+/// Per-process handles to this server's bullet and raw-partition servers.
+/// RpcClients are stateful, so every process owns its own Storage.
+struct Storage {
+  rpc::RpcClient rpc;
+  bullet::BulletClient bullet;
+  disk::DiskClient disk;
+  explicit Storage(ServerCtx& ctx)
+      : rpc(ctx.machine),
+        bullet(rpc, ctx.opts.bullet_port),
+        disk(rpc, ctx.opts.disk_port) {}
+};
+
+Port admin_port(const ServerCtx& ctx, int index) {
+  return Port{ctx.opts.admin_port_base.v +
+              ctx.opts.dir_servers[static_cast<std::size_t>(index)].v};
+}
+
+// --------------------------------------------------------- persistence
+
+Status write_commit_block(ServerCtx& ctx, Storage& st) {
+  return st.disk.write_block(0, ctx.cblock.serialize());
+}
+
+/// Write one directory's current contents to stable storage: a new Bullet
+/// file plus the object-table block. Returns the superseded Bullet cap so
+/// the caller can remove it after waking the initiator (Fig. 5).
+Result<cap::Capability> persist_object(ServerCtx& ctx, Storage& st,
+                                       std::uint32_t obj) {
+  ObjectEntry* e = ctx.state.entry(obj);
+  Directory* d = ctx.state.directory(obj);
+  if (e == nullptr || d == nullptr) {
+    return Status::error(Errc::internal, "persist of unknown object");
+  }
+  auto file = st.bullet.create(d->serialize());
+  if (!file.is_ok()) return file.status();
+  cap::Capability old = e->bullet;
+  e->bullet = *file;
+  Writer w;
+  e->encode(w);
+  Status ws = st.disk.write_block(obj, w.take());
+  if (!ws.is_ok()) return ws;
+  return old;
+}
+
+/// Persist a directory deletion: clear the object-table block and advance
+/// the commit-block sequence number (the paper's Fig. 4 corner case).
+Status persist_delete(ServerCtx& ctx, Storage& st, std::uint32_t obj,
+                      std::uint64_t seqno, const cap::Capability& old_file) {
+  Status ws = st.disk.write_block(obj, Buffer{});
+  if (!ws.is_ok()) return ws;
+  ctx.cblock.seqno = std::max(ctx.cblock.seqno, seqno);
+  Status cs = write_commit_block(ctx, st);
+  if (!cs.is_ok()) return cs;
+  if (!old_file.is_null()) (void)st.bullet.del(old_file);
+  return Status::ok();
+}
+
+/// Write the entire current database to this server's own storage (state
+/// transfer install, and NVRAM flush-all).
+Status persist_everything(ServerCtx& ctx, Storage& st) {
+  for (const auto& [obj, e] : ctx.state.table()) {
+    auto old = persist_object(ctx, st, obj);
+    if (!old.is_ok()) return old.status();
+    if (!old->is_null()) (void)st.bullet.del(*old);
+  }
+  return write_commit_block(ctx, st);
+}
+
+// --------------------------------------------------------- NVRAM backend
+
+using nvlog::request_target;
+
+void flush_all(ServerCtx& ctx, Storage& st) {
+  // Single-flight: a group thread blocked on a full NVRAM waits for the
+  // flusher (or vice versa).
+  while (ctx.flushing) ctx.flush_wq.wait();
+  if (ctx.nv->empty() && ctx.pending_commit_seqno == 0) return;
+  ctx.flushing = true;
+  struct Guard {
+    ServerCtx* c;
+    ~Guard() {
+      c->flushing = false;
+      c->flush_wq.notify_all();
+    }
+  } guard{&ctx};
+
+  // Snapshot which objects the log mentions; anything appended during the
+  // disk writes below stays in the log for the next flush.
+  std::vector<std::uint64_t> ids;
+  std::vector<std::uint32_t> objs;
+  for (const auto& rec : ctx.nv->records()) {
+    ids.push_back(rec.id);
+    nvlog::Record d = nvlog::decode(rec.data);
+    std::uint32_t obj = d.objhint != 0 ? d.objhint : request_target(d.request);
+    if (obj != 0 &&
+        std::find(objs.begin(), objs.end(), obj) == objs.end()) {
+      objs.push_back(obj);
+    }
+  }
+  for (std::uint32_t obj : objs) {
+    if (ctx.state.entry(obj) != nullptr) {
+      auto old = persist_object(ctx, st, obj);
+      if (old.is_ok() && !old->is_null()) (void)st.bullet.del(*old);
+    } else {
+      (void)st.disk.write_block(obj, Buffer{});
+    }
+  }
+  if (ctx.pending_commit_seqno > ctx.cblock.seqno) {
+    ctx.cblock.seqno = ctx.pending_commit_seqno;
+  }
+  ctx.pending_commit_seqno = 0;
+  (void)write_commit_block(ctx, st);
+  for (std::uint64_t id : ids) (void)ctx.nv->cancel(id);
+  ctx.stats->flushes++;
+}
+
+/// Log an update in NVRAM instead of touching the disk (Sec. 4.1). Applies
+/// the append+delete cancellation: a delete whose matching append is still
+/// in the log removes the append and logs nothing.
+void nvram_log(ServerCtx& ctx, Storage& st, const Buffer& request,
+               std::uint64_t secret, std::uint64_t seqno,
+               const DirState::ApplyEffect& effect) {
+  const std::size_t cancelled = nvlog::try_cancel(*ctx.nv, request, effect);
+  if (cancelled > 0) {
+    ctx.stats->nvram_cancellations += cancelled;
+    return;
+  }
+  auto op_res = peek_op(request);
+  const DirOp op = op_res.is_ok() ? *op_res : DirOp::list_dir;
+  if (op == DirOp::delete_dir) {
+    // Deletion of an on-disk directory: remember the commit-block seqno
+    // obligation for the next flush (Fig. 4).
+    ctx.pending_commit_seqno = std::max(ctx.pending_commit_seqno, seqno);
+  }
+  nvlog::Record rec;
+  rec.seqno = seqno;
+  rec.secret = secret;
+  rec.request = request;
+  if (op == DirOp::create_dir && !effect.touched.empty()) {
+    rec.objhint = effect.touched.front();
+  }
+  Buffer encoded = nvlog::encode(rec);
+  while (!ctx.nv->would_fit(encoded.size())) {
+    // NVRAM full in the critical path: the update stalls on a flush — this
+    // is the visible cost of a small NVRAM (ablated in the benchmarks).
+    flush_all(ctx, st);
+  }
+  (void)ctx.nv->append(
+      rec.objhint != 0 ? rec.objhint : request_target(request),
+      std::move(encoded));
+}
+
+// --------------------------------------------------------- boot loading
+
+void load_local_state(ServerCtx& ctx, Storage& st) {
+  auto cb = st.disk.read_block(0);
+  if (cb.is_ok()) {
+    try {
+      ctx.cblock = CommitBlock::deserialize(*cb);
+    } catch (const DecodeError&) {
+      ctx.cblock = CommitBlock{};
+    }
+  } else {
+    ctx.cblock = CommitBlock{};  // first boot: pristine partition
+    ctx.cblock.set_up(ctx.my_index, true);
+  }
+
+  // Sequentially scan the admin partition for object-table entries;
+  // deleted slots are simply blank.
+  ctx.state.clear();
+  std::vector<std::pair<std::uint32_t, ObjectEntry>> entries;
+  auto scan = st.disk.scan(1, kMaxObjects);
+  if (scan.is_ok()) {
+    for (const auto& [block, data] : *scan) {
+      try {
+        Reader r(data);
+        ObjectEntry e = ObjectEntry::decode(r);
+        if (e.in_use) entries.emplace_back(block, e);
+      } catch (const DecodeError&) {
+        continue;
+      }
+    }
+  }
+  for (auto& [obj, e] : entries) {
+    auto contents = st.bullet.read(e.bullet);
+    if (!contents.is_ok()) {
+      LOG_WARN << ctx.machine.name() << " missing bullet file for obj " << obj;
+      continue;
+    }
+    try {
+      ctx.state.put(obj, e, Directory::deserialize(*contents));
+    } catch (const DecodeError&) {
+      LOG_WARN << ctx.machine.name() << " corrupt directory obj " << obj;
+    }
+  }
+
+  std::uint64_t nv_max = 0;
+  if (ctx.nv != nullptr) {
+    nvlog::replay(ctx.state, *ctx.nv);
+    nv_max = nvlog::max_seqno(*ctx.nv);
+  }
+
+  if (ctx.cblock.recovering) {
+    // Crashed mid state-transfer: our mixture of old and new directories
+    // must never be used as a recovery source (paper Sec. 3).
+    LOG_WARN << ctx.machine.name()
+             << " booted with recovering flag set: seqno := 0";
+    ctx.my_seqno = 0;
+  } else {
+    ctx.my_seqno =
+        std::max({ctx.state.max_dir_seqno(), ctx.cblock.seqno, nv_max});
+  }
+}
+
+// --------------------------------------------------------- admin service
+
+Buffer handle_admin(ServerCtx& ctx, const Buffer& request) {
+  try {
+    Reader r(request);
+    auto op = static_cast<AdminOp>(r.u8());
+    switch (op) {
+      case AdminOp::exchange: {
+        // Peer sends nothing we need beyond the op; reply with our mourned
+        // set (complement of our last-majority config), recovery seqno and
+        // the continuously-up flag for the Sec. 3.2 rule.
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(Errc::ok));
+        w.u32(~ctx.cblock.config & ctx.all_mask());
+        w.u64(ctx.my_seqno);
+        w.boolean(ctx.continuously_up);
+        return w.take();
+      }
+      case AdminOp::fetch_state: {
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(Errc::ok));
+        w.u64(ctx.my_seqno);
+        w.u64(ctx.applied_seqno);
+        w.u64(ctx.cblock.seqno);
+        w.bytes(ctx.state.snapshot());
+        return w.take();
+      }
+    }
+    return reply_error(Errc::bad_request);
+  } catch (const DecodeError&) {
+    return reply_error(Errc::bad_request);
+  }
+}
+
+// --------------------------------------------------------- recovery (Fig 6)
+
+group::GroupConfig make_group_cfg(const ServerCtx& ctx) {
+  group::GroupConfig cfg = ctx.opts.group_base;
+  cfg.port = ctx.opts.group_port;
+  cfg.universe = ctx.opts.dir_servers;
+  cfg.resilience = ctx.opts.resilience;
+  return cfg;
+}
+
+/// One pass of the Fig. 6 loop body. Returns true when normal operation may
+/// begin.
+bool try_recover_once(ServerCtx& ctx, Storage& st) {
+  sim::Simulator& sim = ctx.sim();
+
+  // "re-join server group or create it"
+  if (!ctx.gm) {
+    auto join = group::GroupMember::join(ctx.machine, make_group_cfg(ctx));
+    if (join.is_ok()) {
+      ctx.gm = std::move(*join);
+    } else {
+      ctx.gm = group::GroupMember::create(ctx.machine, make_group_cfg(ctx));
+    }
+  }
+
+  // "while (minority && !timeout) wait"
+  const sim::Time deadline =
+      ctx.now() + ctx.opts.majority_wait +
+      static_cast<sim::Duration>(sim.rng().below(
+          static_cast<std::uint64_t>(ctx.opts.recovery_backoff)));
+  while (ctx.now() < deadline) {
+    group::GroupInfo gi = ctx.gm->info();
+    if (gi.state == group::MemberState::failed) {
+      (void)ctx.gm->reset_group(sim::msec(500));
+    }
+    if (ctx.majority()) break;
+    sim.sleep_for(sim::msec(20));
+  }
+  if (!ctx.majority()) {
+    // "if (minority) try again (leave group and retry)"
+    (void)ctx.gm->leave(sim::msec(200));
+    ctx.gm.reset();
+    sim.sleep_for(ctx.opts.recovery_backoff +
+                  static_cast<sim::Duration>(sim.rng().below(
+                      static_cast<std::uint64_t>(ctx.opts.recovery_backoff))));
+    return false;
+  }
+
+  // Skeen's algorithm over the group members.
+  std::uint32_t newgroup = 1u << ctx.my_index;
+  std::uint32_t mourned = ~ctx.cblock.config & ctx.all_mask();
+  std::map<int, std::uint64_t> seqnos{{ctx.my_index, ctx.my_seqno}};
+  std::map<int, bool> cont_up{{ctx.my_index, ctx.continuously_up}};
+
+  Writer req;
+  req.u8(static_cast<std::uint8_t>(AdminOp::exchange));
+  for (MachineId m : ctx.gm->info().members) {
+    const int idx = ctx.index_of(m);
+    if (idx < 0 || idx == ctx.my_index) continue;
+    auto res = st.rpc.trans(admin_port(ctx, idx), req.view(),
+                            {.timeout = sim::msec(500)});
+    if (!res.is_ok()) continue;
+    try {
+      Reader r(*res);
+      if (static_cast<Errc>(r.u8()) != Errc::ok) continue;
+      const std::uint32_t their_mourned = r.u32();
+      const std::uint64_t their_seqno = r.u64();
+      const bool their_cont = r.boolean();
+      newgroup |= (1u << idx);
+      mourned |= their_mourned;
+      seqnos[idx] = their_seqno;
+      cont_up[idx] = their_cont;
+    } catch (const DecodeError&) {
+      continue;
+    }
+  }
+  mourned &= ~newgroup;  // members we just spoke to are plainly alive
+
+  const std::uint32_t last = ctx.all_mask() & ~mourned;
+  if ((last & ~newgroup) != 0) {
+    // The set of servers that possibly performed the latest update is not
+    // fully present.
+    bool allowed = false;
+    if (ctx.opts.improved_recovery) {
+      // Sec. 3.2: a continuously-up member holding the maximum sequence
+      // number proves no update could have happened without it.
+      std::uint64_t maxseq = 0;
+      for (const auto& [idx, s] : seqnos) maxseq = std::max(maxseq, s);
+      for (const auto& [idx, up] : cont_up) {
+        if (up && seqnos[idx] >= maxseq) {
+          allowed = true;
+          break;
+        }
+      }
+    }
+    if (!allowed) {
+      LOG_INFO << ctx.machine.name()
+               << " recovery blocked: last-set not present (last=" << last
+               << " newgroup=" << newgroup << ")";
+      (void)ctx.gm->leave(sim::msec(200));
+      ctx.gm.reset();
+      sim.sleep_for(ctx.opts.recovery_backoff +
+                    static_cast<sim::Duration>(sim.rng().below(
+                        static_cast<std::uint64_t>(ctx.opts.recovery_backoff))));
+      return false;
+    }
+  }
+
+  // Fetch the newest state if someone is ahead of us.
+  int best = ctx.my_index;
+  for (const auto& [idx, s] : seqnos) {
+    if (s > seqnos[best]) best = idx;
+  }
+  if (best != ctx.my_index && seqnos[best] > ctx.my_seqno) {
+    ctx.cblock.recovering = true;
+    (void)write_commit_block(ctx, st);
+
+    Writer freq;
+    freq.u8(static_cast<std::uint8_t>(AdminOp::fetch_state));
+    auto res = st.rpc.trans(admin_port(ctx, best), freq.take(),
+                            {.timeout = sim::sec(5)});
+    bool installed = false;
+    if (res.is_ok()) {
+      try {
+        Reader r(*res);
+        if (static_cast<Errc>(r.u8()) == Errc::ok) {
+          const std::uint64_t peer_seqno = r.u64();
+          const std::uint64_t peer_applied = r.u64();
+          const std::uint64_t peer_commit_seqno = r.u64();
+          Buffer snap = r.bytes();
+          ctx.state = DirState::from_snapshot(snap, ctx.opts.dir_port);
+          ctx.my_seqno = peer_seqno;
+          ctx.applied_seqno = std::max(ctx.applied_seqno, peer_applied);
+          ctx.cblock.seqno = peer_commit_seqno;
+          if (ctx.nv != nullptr) {
+            // The snapshot supersedes anything logged locally.
+            while (!ctx.nv->empty()) ctx.nv->pop_front();
+            ctx.pending_commit_seqno = 0;
+          }
+          Status ps = persist_everything(ctx, st);
+          installed = ps.is_ok();
+        }
+      } catch (const DecodeError&) {
+        installed = false;
+      }
+    }
+    if (!installed) {
+      // recovering flag stays set: if we die now, the next boot zeroes our
+      // seqno (paper Sec. 3).
+      (void)ctx.gm->leave(sim::msec(200));
+      ctx.gm.reset();
+      sim.sleep_for(ctx.opts.recovery_backoff);
+      return false;
+    }
+    ctx.cblock.recovering = false;
+  }
+
+  // "write commit block (store configuration vector); enter normal op".
+  ctx.cblock.config = newgroup;
+  // Also include any current group members beyond the exchange set (they
+  // were listed in the group view).
+  for (MachineId m : ctx.gm->info().members) {
+    const int idx = ctx.index_of(m);
+    if (idx >= 0) ctx.cblock.set_up(idx, true);
+  }
+  ctx.cblock.recovering = false;
+  (void)write_commit_block(ctx, st);
+  ctx.continuously_up = true;
+  ctx.in_recovery = false;
+  ctx.applied_wq.notify_all();
+  LOG_INFO << ctx.machine.name() << " recovery complete: seqno="
+           << ctx.my_seqno << " config=" << ctx.cblock.config;
+  return true;
+}
+
+void run_recovery(ServerCtx& ctx, Storage& st) {
+  ctx.in_recovery = true;
+  ctx.stats->in_recovery = true;
+  while (!try_recover_once(ctx, st)) {
+    // Loop until a majority with the last-to-fail set is assembled.
+  }
+  ctx.stats->in_recovery = false;
+  ctx.stats->recoveries++;
+}
+
+// --------------------------------------------------------- normal operation
+
+void update_config_from_group(ServerCtx& ctx, Storage& st) {
+  if (!ctx.majority()) return;  // config only tracks majority configurations
+  std::uint32_t cfgmask = 0;
+  for (MachineId m : ctx.gm->info().members) {
+    const int idx = ctx.index_of(m);
+    if (idx >= 0) cfgmask |= (1u << idx);
+  }
+  ctx.cblock.config = cfgmask;
+  (void)write_commit_block(ctx, st);
+}
+
+void group_thread_loop(ServerCtx& ctx, Storage& st) {
+  while (true) {
+    if (!ctx.gm || ctx.in_recovery) run_recovery(ctx, st);
+
+    auto res = ctx.gm->receive();
+    if (!res.is_ok()) {
+      // "rebuild majority of group (call ResetGroup)" — Fig. 5.
+      Status rst = ctx.gm->reset_group(sim::sec(2));
+      if (rst.is_ok() && ctx.majority()) {
+        update_config_from_group(ctx, st);
+        ctx.stats->group_resets++;
+        continue;
+      }
+      ctx.in_recovery = true;
+      continue;
+    }
+
+    group::GroupMsg msg = std::move(*res);
+    if (msg.kind != group::MsgKind::data) {
+      // Membership change: record the new configuration vector.
+      update_config_from_group(ctx, st);
+      if (msg.seqno > ctx.applied_seqno) ctx.applied_seqno = msg.seqno;
+      ctx.applied_wq.notify_all();
+      continue;
+    }
+    if (msg.seqno <= ctx.applied_seqno) continue;  // covered by state transfer
+
+    std::uint64_t opid = 0;
+    std::uint64_t secret = 0;
+    Buffer request;
+    try {
+      Reader r(msg.payload);
+      opid = r.u64();
+      secret = r.u64();
+      request = r.bytes();
+    } catch (const DecodeError&) {
+      ctx.applied_seqno = msg.seqno;
+      continue;
+    }
+
+    ctx.machine.cpu().use(ctx.opts.cpu_apply);
+    // Any applied update counts as activity for the NVRAM idle-flush
+    // heuristic, even when another server was the initiator.
+    ctx.last_client_op = ctx.now();
+    // For directory deletion, remember the on-disk file before apply()
+    // drops the entry, so it can be garbage collected after commit.
+    cap::Capability deleted_file = cap::kNullCap;
+    if (auto op = peek_op(request);
+        op.is_ok() && *op == DirOp::delete_dir) {
+      if (ObjectEntry* e = ctx.state.entry(request_target(request))) {
+        deleted_file = e->bullet;
+      }
+    }
+    DirState::ApplyEffect effect;
+    Buffer reply = ctx.state.apply(request, secret, msg.seqno, &effect);
+    ctx.my_seqno = std::max(ctx.my_seqno, msg.seqno);
+
+    std::vector<cap::Capability> old_files;
+    if (effect.any_change) {
+      if (ctx.nv != nullptr) {
+        nvram_log(ctx, st, request, secret, msg.seqno, effect);
+      } else {
+        for (std::uint32_t obj : effect.touched) {
+          auto old = persist_object(ctx, st, obj);
+          if (old.is_ok() && !old->is_null()) old_files.push_back(*old);
+        }
+        for (std::uint32_t obj : effect.deleted) {
+          (void)persist_delete(ctx, st, obj, msg.seqno, deleted_file);
+        }
+      }
+    }
+
+    // Commit: wake the initiator, then clean up old bullet files (Fig. 5).
+    ctx.applied_seqno = msg.seqno;
+    ctx.stats->applied_seqno = msg.seqno;
+    if (msg.sender == ctx.machine.id()) {
+      ctx.completions[opid] = std::move(reply);
+      ctx.completion_wq.notify_all();
+    }
+    ctx.applied_wq.notify_all();
+    for (const auto& old : old_files) (void)st.bullet.del(old);
+  }
+}
+
+void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
+  while (true) {
+    rpc::IncomingRequest req = server.get_request();
+    auto op_res = peek_op(req.data);
+    if (!op_res.is_ok()) {
+      server.put_reply(req, reply_error(Errc::bad_request));
+      continue;
+    }
+    const bool rd = is_read_op(*op_res);
+    ctx.machine.cpu().use(rd ? ctx.opts.cpu_read : ctx.opts.cpu_write);
+    ctx.last_client_op = ctx.now();
+
+    // "if (!majority()) return failure" — Fig. 5.
+    if (ctx.in_recovery || !ctx.majority()) {
+      ctx.stats->refused_no_majority++;
+      server.put_reply(req, reply_error(Errc::no_majority));
+      continue;
+    }
+
+    if (rd) {
+      // Buffered-messages barrier: before reading, apply everything the
+      // kernel knows exists (r = 2 makes this sufficient, Sec. 3.1).
+      const std::uint64_t target = ctx.gm->info().known_latest;
+      const sim::Time deadline = ctx.now() + ctx.opts.read_barrier_timeout;
+      while (ctx.applied_seqno < target && ctx.now() < deadline &&
+             !ctx.in_recovery) {
+        ctx.applied_wq.wait_until(deadline);
+      }
+      if (ctx.applied_seqno < target) {
+        server.put_reply(req, reply_error(Errc::refused));
+        continue;
+      }
+      server.put_reply(req, ctx.state.execute_read(req.data));
+      ctx.stats->reads++;
+      continue;
+    }
+
+    // Write: generate the check field here so all replicas agree (Sec. 3.1),
+    // broadcast, and wait for the group thread to execute the request.
+    const std::uint64_t opid = ctx.next_opid++;
+    const std::uint64_t secret = ctx.sim().rng().next();
+    Writer w;
+    w.u64(opid);
+    w.u64(secret);
+    w.bytes(req.data);
+    Status st = ctx.gm->send_to_group(w.take());
+    if (!st.is_ok()) {
+      server.put_reply(req, reply_error(st.code() == Errc::group_failure
+                                            ? Errc::no_majority
+                                            : st.code()));
+      continue;
+    }
+    const sim::Time deadline = ctx.now() + sim::sec(3);
+    while (!ctx.completions.contains(opid) && ctx.now() < deadline) {
+      ctx.completion_wq.wait_until(deadline);
+    }
+    auto it = ctx.completions.find(opid);
+    if (it == ctx.completions.end()) {
+      server.put_reply(req, reply_error(Errc::timeout));
+      continue;
+    }
+    Buffer reply = std::move(it->second);
+    ctx.completions.erase(it);
+    server.put_reply(req, std::move(reply));
+    ctx.stats->writes++;
+  }
+}
+
+void flusher_loop(ServerCtx& ctx) {
+  Storage st(ctx);
+  while (true) {
+    ctx.sim().sleep_for(ctx.opts.flush_idle / 2);
+    if (ctx.nv->empty() && ctx.pending_commit_seqno == 0) continue;
+    const bool full =
+        static_cast<double>(ctx.nv->used_bytes()) >
+        ctx.opts.flush_high_water * static_cast<double>(ctx.nv->capacity());
+    const bool idle = ctx.now() - ctx.last_client_op >= ctx.opts.flush_idle;
+    if (full || idle) flush_all(ctx, st);
+  }
+}
+
+void service_main(Machine& machine, GroupDirOptions opts) {
+  int my_index = -1;
+  for (std::size_t i = 0; i < opts.dir_servers.size(); ++i) {
+    if (opts.dir_servers[i] == machine.id()) my_index = static_cast<int>(i);
+  }
+  if (my_index < 0) {
+    LOG_ERROR << machine.name() << " not in dir_servers";
+    return;
+  }
+
+  ServerCtx ctx(machine, std::move(opts), my_index);
+  auto& stats = machine.persistent<GroupDirStats>(
+      "group_dir.stats", [] { return std::make_unique<GroupDirStats>(); });
+  stats = GroupDirStats{};  // fresh counters per boot
+  ctx.stats = &stats;
+
+  if (ctx.opts.use_nvram) {
+    nvram::NvramConfig nvcfg;
+    nvcfg.capacity_bytes = ctx.opts.nvram_bytes;
+    ctx.nv = &machine.persistent<nvram::Nvram>(
+        "group_dir.nvram", [&machine, nvcfg] {
+          return std::make_unique<nvram::Nvram>(machine.sim(), nvcfg);
+        });
+  }
+
+  Storage st(ctx);
+  load_local_state(ctx, st);
+
+  // Admin service (recovery RPCs) — available even while recovering.
+  auto admin = std::make_shared<rpc::RpcServer>(
+      machine, admin_port(ctx, ctx.my_index));
+  for (int i = 0; i < 2; ++i) {
+    machine.spawn("dir.admin" + std::to_string(i), [&ctx, admin] {
+      while (true) {
+        rpc::IncomingRequest req = admin->get_request();
+        admin->put_reply(req, handle_admin(ctx, req.data));
+      }
+    });
+  }
+
+  // Client-facing initiator threads.
+  auto server = std::make_shared<rpc::RpcServer>(machine, ctx.opts.dir_port);
+  for (int i = 0; i < ctx.opts.server_threads; ++i) {
+    machine.spawn("dir.svr" + std::to_string(i),
+                  [&ctx, server] { initiator_loop(ctx, *server); });
+  }
+
+  if (ctx.nv != nullptr) {
+    machine.spawn("dir.flusher", [&ctx] { flusher_loop(ctx); });
+  }
+
+  // This process is the group thread (and runs recovery first).
+  group_thread_loop(ctx, st);
+}
+
+}  // namespace
+
+void install_group_dir_server(Machine& machine, GroupDirOptions opts) {
+  machine.install_service("group_dir", [opts](Machine& m) {
+    service_main(m, opts);
+  });
+}
+
+const GroupDirStats& group_dir_stats(net::Machine& machine) {
+  return machine.persistent<GroupDirStats>(
+      "group_dir.stats", [] { return std::make_unique<GroupDirStats>(); });
+}
+
+}  // namespace amoeba::dir

@@ -1,0 +1,92 @@
+// The paper's primary contribution: the triplicated directory service built
+// on totally-ordered group communication (Sec. 3).
+//
+//   * Active replication: every update is broadcast with SendToGroup (r = 2)
+//     and applied by every server in the same total order (Fig. 5).
+//   * Reads are served locally after a "buffered messages" barrier: the
+//     initiator waits until it has applied every message the kernel knows
+//     about, which — because commits imply all members buffer the message —
+//     guarantees read-your-writes across servers.
+//   * Every operation requires a majority of the configured servers, so the
+//     service stays consistent across network partitions.
+//   * Recovery (Fig. 6) runs Skeen's last-to-fail algorithm over mourned
+//     sets initialized from the on-disk commit block (Fig. 4), fetches the
+//     newest state from the member with the highest sequence number, and
+//     handles the recovering-flag and deleted-directory corner cases.
+//   * Persistence is pluggable: the plain backend writes a Bullet file and
+//     an object-table block per update; the NVRAM backend logs the update
+//     in 24 KB of NVRAM and lets a background flusher write the disk copy
+//     (Sec. 4.1), including the append+delete cancellation optimisation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "group/group.h"
+#include "net/cluster.h"
+#include "sim/time.h"
+
+namespace amoeba::dir {
+
+struct GroupDirOptions {
+  net::Port dir_port{1000};        // client-facing, shared by all servers
+  net::Port group_port{1001};
+  net::Port admin_port_base{1100};  // + machine id: recovery RPCs
+  net::Port bullet_port{1200};      // this server's bullet server
+  net::Port disk_port{1300};        // this server's raw-partition server
+  std::vector<net::MachineId> dir_servers;  // all servers, fixed order
+  int server_threads = 3;
+  int resilience = 2;
+  bool use_nvram = false;
+  bool improved_recovery = false;  // Sec. 3.2's relaxed 2-server rule
+
+  // Calibrated Sun3/60-era CPU costs (see DESIGN.md).
+  sim::Duration cpu_read = sim::msec(3);
+  sim::Duration cpu_write = sim::msec(3);
+  sim::Duration cpu_apply = sim::msec(4);
+
+  // Recovery pacing.
+  sim::Duration majority_wait = sim::msec(500);
+  sim::Duration recovery_backoff = sim::msec(150);
+  sim::Duration read_barrier_timeout = sim::msec(1000);
+
+  // NVRAM flushing.
+  std::size_t nvram_bytes = 24 * 1024;
+  sim::Duration flush_idle = sim::msec(100);  // flush when idle this long
+  double flush_high_water = 0.75;             // or when this full
+
+  // Group layer knobs (heartbeat etc.); port/universe/resilience are
+  // overwritten from the fields above.
+  group::GroupConfig group_base;
+};
+
+/// Admin protocol served on `admin_port_base + machine id` (used by the
+/// recovery protocol; exposed so tests and tools can inspect replicas).
+/// exchange: reply = errc, mourned bitmask u32, seqno u64, continuously_up.
+/// fetch_state: reply = errc, seqno u64, applied u64, commit-seqno u64,
+///              DirState snapshot bytes.
+enum class GroupAdminOp : std::uint8_t { exchange = 1, fetch_state };
+
+/// Installs a directory server on `machine` (runs at boot and after every
+/// restart). The machine must appear in `opts.dir_servers`.
+void install_group_dir_server(net::Machine& machine, GroupDirOptions opts);
+
+/// Observable per-server counters (for tests and benchmarks). Fetched by
+/// machine id after the simulation ran.
+struct GroupDirStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t refused_no_majority = 0;
+  std::uint64_t recoveries = 0;      // completed recovery protocol runs
+  std::uint64_t group_resets = 0;    // successful in-place group rebuilds
+  std::uint64_t nvram_cancellations = 0;
+  std::uint64_t flushes = 0;
+  bool in_recovery = true;
+  std::uint64_t applied_seqno = 0;
+};
+
+/// Latest stats snapshot for the server on `machine` (survives crashes; a
+/// restarted server resets its counters).
+const GroupDirStats& group_dir_stats(net::Machine& machine);
+
+}  // namespace amoeba::dir

@@ -1,0 +1,37 @@
+// The Sun-NFS-like baseline of the paper's Fig. 7: one server, one disk,
+// synchronous directory metadata writes, no replication, no fault tolerance
+// and no cache consistency. It speaks the same directory wire protocol, so
+// the same client and workloads run against it, plus a bullet-protocol file
+// endpoint for the tmp-file experiment (modelling a local /usr/tmp with
+// write-behind data and synchronous metadata).
+#pragma once
+
+#include <cstdint>
+
+#include "net/cluster.h"
+#include "sim/time.h"
+
+namespace amoeba::dir {
+
+struct NfsDirOptions {
+  net::Port dir_port{3000};
+  net::Port file_port{3001};
+  int server_threads = 4;
+
+  sim::Duration cpu_read = sim::msec(4);   // lookup 6 ms in the paper
+  sim::Duration cpu_write = sim::msec(3);
+  sim::Duration dir_write_disk = sim::msec(40);   // synchronous metadata
+  sim::Duration file_create_disk = sim::msec(12); // async data, sync inode
+};
+
+void install_nfs_dir_server(net::Machine& machine, NfsDirOptions opts);
+
+struct NfsDirStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t file_ops = 0;
+};
+
+const NfsDirStats& nfs_dir_stats(net::Machine& machine);
+
+}  // namespace amoeba::dir

@@ -1,0 +1,127 @@
+#include "dir/nvram_log.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cap/capability.h"
+
+namespace amoeba::dir::nvlog {
+
+Buffer encode(const Record& rec) {
+  Writer w;
+  w.u64(rec.seqno);
+  w.u64(rec.secret);
+  w.u32(rec.objhint);
+  w.bytes(rec.request);
+  return w.take();
+}
+
+Record decode(const Buffer& b) {
+  Reader r(b);
+  Record rec;
+  rec.seqno = r.u64();
+  rec.secret = r.u64();
+  rec.objhint = r.u32();
+  rec.request = r.bytes();
+  return rec;
+}
+
+std::uint32_t request_target(const Buffer& request) {
+  try {
+    Reader r(request);
+    auto op = static_cast<DirOp>(r.u8());
+    if (op == DirOp::create_dir) return 0;
+    return cap::Capability::decode(r).object;
+  } catch (const DecodeError&) {
+    return 0;
+  }
+}
+
+std::string request_row(const Buffer& request) {
+  try {
+    Reader r(request);
+    auto op = static_cast<DirOp>(r.u8());
+    if (op != DirOp::append_row && op != DirOp::delete_row &&
+        op != DirOp::chmod_row) {
+      return {};
+    }
+    (void)cap::Capability::decode(r);
+    return r.str();
+  } catch (const DecodeError&) {
+    return {};
+  }
+}
+
+std::size_t try_cancel(nvram::Nvram& nv, const Buffer& request,
+                       const DirState::ApplyEffect& effect) {
+  auto op_res = peek_op(request);
+  if (!op_res.is_ok()) return 0;
+
+  if (*op_res == DirOp::delete_row) {
+    const std::uint32_t obj = request_target(request);
+    const std::string name = request_row(request);
+    const auto& recs = nv.records();
+    for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+      Record d = decode(it->data);
+      auto rop = peek_op(d.request);
+      if (rop.is_ok() && *rop == DirOp::append_row &&
+          request_target(d.request) == obj && request_row(d.request) == name) {
+        nv.cancel(it->id);
+        return 2;  // the append and the delete both elided
+      }
+    }
+    return 0;
+  }
+
+  if (*op_res == DirOp::delete_dir && !effect.deleted.empty()) {
+    const std::uint32_t obj = effect.deleted.front();
+    bool born_in_nvram = false;
+    for (const auto& rec : nv.records()) {
+      Record d = decode(rec.data);
+      auto rop = peek_op(d.request);
+      if (rop.is_ok() && *rop == DirOp::create_dir && d.objhint == obj) {
+        born_in_nvram = true;
+        break;
+      }
+    }
+    if (!born_in_nvram) return 0;
+    std::vector<std::uint64_t> to_cancel;
+    for (const auto& rec : nv.records()) {
+      Record d = decode(rec.data);
+      std::uint32_t target =
+          d.objhint != 0 ? d.objhint : request_target(d.request);
+      if (target == obj) to_cancel.push_back(rec.id);
+    }
+    for (auto id : to_cancel) nv.cancel(id);
+    return to_cancel.size() + 1;
+  }
+
+  return 0;
+}
+
+void replay(DirState& state, const nvram::Nvram& nv) {
+  for (const auto& rec : nv.records()) {
+    Record d = decode(rec.data);
+    auto op = peek_op(d.request);
+    if (!op.is_ok()) continue;
+    if (*op == DirOp::create_dir) {
+      if (d.objhint == 0 || state.entry(d.objhint) != nullptr) continue;
+    } else {
+      const std::uint32_t obj = request_target(d.request);
+      ObjectEntry* e = state.entry(obj);
+      if (e != nullptr && e->seqno >= d.seqno) continue;  // already on disk
+    }
+    DirState::ApplyEffect effect;
+    (void)state.apply(d.request, d.secret, d.seqno, &effect, d.objhint);
+  }
+}
+
+std::uint64_t max_seqno(const nvram::Nvram& nv) {
+  std::uint64_t m = 0;
+  for (const auto& rec : nv.records()) {
+    m = std::max(m, decode(rec.data).seqno);
+  }
+  return m;
+}
+
+}  // namespace amoeba::dir::nvlog

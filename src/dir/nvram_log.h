@@ -1,0 +1,51 @@
+// Shared NVRAM write-ahead log for directory services (paper Sec. 4.1).
+//
+// Instead of writing directories to disk in the critical path, a server
+// logs the raw update request (plus the initiator's secret and, for
+// create_dir, the allocated object number so replay is deterministic) in
+// NVRAM. A background flusher applies the current in-memory state to disk
+// and drops the covered records; after a crash the log is replayed on top
+// of the disk state. Used by both the group service and the RPC service's
+// NVRAM mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/buffer.h"
+#include "dir/proto.h"
+#include "nvram/nvram.h"
+
+namespace amoeba::dir::nvlog {
+
+struct Record {
+  std::uint64_t seqno = 0;
+  std::uint64_t secret = 0;
+  std::uint32_t objhint = 0;  // create_dir: the allocated object number
+  Buffer request;
+};
+
+Buffer encode(const Record& rec);
+Record decode(const Buffer& b);
+
+/// Object number a request targets (0 for create_dir, which allocates).
+std::uint32_t request_target(const Buffer& request);
+
+/// Row name for row-granularity ops (append/delete/chmod), else empty.
+std::string request_row(const Buffer& request);
+
+/// The Sec. 4.1 cancellation: if `request` is a delete whose matching
+/// append (or created directory) still sits in the log, remove the matched
+/// records and report how many operations were elided (the delete itself
+/// included). Returns 0 when the caller should log the request instead.
+std::size_t try_cancel(nvram::Nvram& nv, const Buffer& request,
+                       const DirState::ApplyEffect& effect);
+
+/// Replay the log on top of `state` (loaded from disk): records whose
+/// effects are already persisted are skipped via per-object seqnos.
+void replay(DirState& state, const nvram::Nvram& nv);
+
+/// Highest seqno recorded in the log (contributes to the recovery seqno).
+std::uint64_t max_seqno(const nvram::Nvram& nv);
+
+}  // namespace amoeba::dir::nvlog

@@ -1,0 +1,82 @@
+#include "dir/path.h"
+
+namespace amoeba::dir {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+Result<cap::Capability> PathOps::walk(
+    const std::vector<std::string>& components, std::size_t count,
+    bool create) {
+  cap::Capability cur = root_;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto next = dc_.lookup(cur, components[i]);
+    if (next.is_ok()) {
+      cur = *next;
+      continue;
+    }
+    if (!create || next.code() != Errc::not_found) return next.status();
+    auto made = dc_.create_dir({"owner"});
+    if (!made.is_ok()) return made.status();
+    Status st = dc_.append_row(cur, components[i], {*made});
+    if (st.code() == Errc::exists) {
+      // Lost a race with another client: use theirs.
+      (void)dc_.delete_dir(*made);
+      auto again = dc_.lookup(cur, components[i]);
+      if (!again.is_ok()) return again.status();
+      cur = *again;
+      continue;
+    }
+    if (!st.is_ok()) return st;
+    cur = *made;
+  }
+  return cur;
+}
+
+Result<cap::Capability> PathOps::resolve(const std::string& path,
+                                         std::uint16_t column) {
+  const auto components = split_path(path);
+  if (components.empty()) return root_;
+  auto parent = walk(components, components.size() - 1, /*create=*/false);
+  if (!parent.is_ok()) return parent.status();
+  return dc_.lookup(*parent, components.back(), column);
+}
+
+Result<cap::Capability> PathOps::make_dirs(const std::string& path) {
+  const auto components = split_path(path);
+  return walk(components, components.size(), /*create=*/true);
+}
+
+Status PathOps::put(const std::string& path, const cap::Capability& target) {
+  const auto components = split_path(path);
+  if (components.empty()) {
+    return Status::error(Errc::bad_request, "empty path");
+  }
+  auto parent = walk(components, components.size() - 1, /*create=*/true);
+  if (!parent.is_ok()) return parent.status();
+  return dc_.append_row(*parent, components.back(), {target});
+}
+
+Status PathOps::remove(const std::string& path) {
+  const auto components = split_path(path);
+  if (components.empty()) {
+    return Status::error(Errc::bad_request, "empty path");
+  }
+  auto parent = walk(components, components.size() - 1, /*create=*/false);
+  if (!parent.is_ok()) return parent.status();
+  return dc_.delete_row(*parent, components.back());
+}
+
+}  // namespace amoeba::dir

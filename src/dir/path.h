@@ -1,0 +1,49 @@
+// Hierarchical naming on top of the flat directory service, the way Amoeba
+// user programs used it: directories store capabilities for other
+// directories, so "a/b/c" resolves by successive lookups from a root
+// capability. Pure client-side utilities — the service itself stays a flat
+// (name, capability-set) store, as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dir/client.h"
+
+namespace amoeba::dir {
+
+/// Split "a/b/c" into {"a","b","c"}; empty components are dropped, so
+/// "/a//b/" == "a/b".
+std::vector<std::string> split_path(const std::string& path);
+
+class PathOps {
+ public:
+  /// Operate relative to `root` (typically the owner cap of a user's home
+  /// directory).
+  PathOps(DirClient& client, cap::Capability root)
+      : dc_(client), root_(root) {}
+
+  /// Resolve a slash-separated path to the capability stored in `column`
+  /// of the final component.
+  Result<cap::Capability> resolve(const std::string& path,
+                                  std::uint16_t column = 0);
+
+  /// Create any missing intermediate directories and return the capability
+  /// of the final directory ("mkdir -p").
+  Result<cap::Capability> make_dirs(const std::string& path);
+
+  /// Register `target` under `path`, creating intermediate directories.
+  Status put(const std::string& path, const cap::Capability& target);
+
+  /// Remove the row named by the final component of `path`.
+  Status remove(const std::string& path);
+
+ private:
+  Result<cap::Capability> walk(const std::vector<std::string>& components,
+                               std::size_t count, bool create);
+
+  DirClient& dc_;
+  cap::Capability root_;
+};
+
+}  // namespace amoeba::dir

@@ -1,0 +1,133 @@
+// Client-visible wire protocol of the directory service (paper Fig. 2), and
+// the shared in-memory state machine (`DirState`) that all three server
+// implementations (group, RPC, NFS-like) execute.
+//
+// Request framing:  u8 op | op-specific body.
+// Reply framing:    u8 errc | op-specific body on success.
+//
+// Update requests are replayed verbatim by replicas (the group service
+// broadcasts the request plus the initiator-generated secret), so apply()
+// must be fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cap/capability.h"
+#include "common/buffer.h"
+#include "common/status.h"
+#include "dir/types.h"
+#include "net/packet.h"
+
+namespace amoeba::dir {
+
+/// Object-table capacity: one admin block per object on the raw partition
+/// (block 0 is the commit block), so object numbers stay below this bound.
+inline constexpr std::uint32_t kMaxObjects = 128;
+
+enum class DirOp : std::uint8_t {
+  create_dir = 1,
+  delete_dir,
+  list_dir,
+  append_row,
+  chmod_row,
+  delete_row,
+  lookup_set,
+  replace_set,
+};
+
+[[nodiscard]] bool is_read_op(DirOp op);
+
+/// True if `b` holds a well-formed request of a write (update) op.
+[[nodiscard]] Result<DirOp> peek_op(const Buffer& request);
+
+// --- request builders (used by DirClient and by tests) ---------------------
+Buffer make_create_dir(const std::vector<std::string>& columns);
+Buffer make_delete_dir(const cap::Capability& dir);
+Buffer make_list_dir(const cap::Capability& dir);
+Buffer make_append_row(const cap::Capability& dir, const std::string& name,
+                       const std::vector<cap::Capability>& cols);
+Buffer make_chmod_row(const cap::Capability& dir, const std::string& name,
+                      std::uint16_t column, cap::Rights mask);
+Buffer make_delete_row(const cap::Capability& dir, const std::string& name);
+struct LookupTarget {
+  cap::Capability dir;
+  std::string name;
+};
+Buffer make_lookup_set(const std::vector<LookupTarget>& targets);
+struct ReplaceTarget {
+  cap::Capability dir;
+  std::string name;
+  cap::Capability replacement;  // replaces column 0
+};
+Buffer make_replace_set(const std::vector<ReplaceTarget>& targets);
+
+// --- reply builders / parsers ----------------------------------------------
+Buffer reply_error(Errc code);
+Buffer reply_ok(const Buffer& payload = {});
+/// Splits a reply into (status, payload reader position just after errc).
+Status reply_status(const Buffer& reply);
+
+/// The in-memory directory database shared by every implementation: the
+/// object table plus the cached directory contents. Persistence is layered
+/// on top by each server (bullet files + admin blocks, NVRAM, or plain
+/// disk), keyed off ApplyEffect.
+class DirState {
+ public:
+  explicit DirState(net::Port service_port) : port_(service_port) {}
+
+  /// What an update did, so the storage layer knows what to persist.
+  struct ApplyEffect {
+    std::vector<std::uint32_t> touched;  // objects whose contents changed
+    std::vector<std::uint32_t> deleted;  // objects removed
+    bool any_change = false;
+  };
+
+  /// Execute an update deterministically. `secret` is the initiator-supplied
+  /// check secret (used by create_dir only). `seqno` stamps the change.
+  /// `forced_objnum`, when non-zero, pins the object number a create_dir
+  /// allocates — used when replaying an NVRAM log whose original run already
+  /// chose the number. Returns the client reply; fills `effect`.
+  Buffer apply(const Buffer& request, std::uint64_t secret,
+               std::uint64_t seqno, ApplyEffect* effect,
+               std::uint32_t forced_objnum = 0);
+
+  /// Execute a read request against the current state.
+  Buffer execute_read(const Buffer& request) const;
+
+  // --- state access for persistence/recovery ---
+  [[nodiscard]] const std::map<std::uint32_t, Directory>& dirs() const {
+    return dirs_;
+  }
+  [[nodiscard]] const std::map<std::uint32_t, ObjectEntry>& table() const {
+    return table_;
+  }
+  [[nodiscard]] ObjectEntry* entry(std::uint32_t objnum);
+  Directory* directory(std::uint32_t objnum);
+  void put(std::uint32_t objnum, ObjectEntry entry, Directory dir);
+  void erase(std::uint32_t objnum);
+  void clear();
+
+  /// Highest seqno across all directories (used with the commit-block seqno
+  /// to compute the server's recovery sequence number, Sec. 3).
+  [[nodiscard]] std::uint64_t max_dir_seqno() const;
+
+  /// Serialize / load the entire database (recovery state transfer).
+  [[nodiscard]] Buffer snapshot() const;
+  static DirState from_snapshot(const Buffer& b, net::Port port);
+
+  [[nodiscard]] net::Port port() const { return port_; }
+
+ private:
+  Result<std::uint32_t> check_dir_cap(const cap::Capability& c,
+                                      cap::Rights need) const;
+  std::uint32_t alloc_objnum() const;
+
+  net::Port port_;
+  std::map<std::uint32_t, ObjectEntry> table_;
+  std::map<std::uint32_t, Directory> dirs_;
+};
+
+}  // namespace amoeba::dir

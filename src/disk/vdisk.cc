@@ -1,0 +1,80 @@
+#include "disk/vdisk.h"
+#include <algorithm>
+
+namespace amoeba::disk {
+
+VirtualDisk::VirtualDisk(sim::Simulator& sim, std::string name, DiskConfig cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      spindle_(sim, name + ".spindle"),
+      blocks_(cfg.num_blocks) {}
+
+Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  if (block >= cfg_.num_blocks) {
+    return Status::error(Errc::io_error, "block out of range");
+  }
+  if (data.size() > kBlockSize) {
+    return Status::error(Errc::io_error, "block too large");
+  }
+  spindle_.use(cfg_.write_latency);
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  // Commit point: after the latency, atomically. A killed writer never
+  // reaches this line, leaving the previous contents intact.
+  blocks_[block] = data;
+  ++writes_;
+  return Status::ok();
+}
+
+Result<Buffer> VirtualDisk::read_block(std::uint32_t block) {
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  if (block >= cfg_.num_blocks) {
+    return Status::error(Errc::io_error, "block out of range");
+  }
+  spindle_.use(cfg_.read_latency);
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  ++reads_;
+  if (!blocks_[block]) {
+    return Status::error(Errc::not_found, "block never written");
+  }
+  return *blocks_[block];
+}
+
+Status VirtualDisk::data_write() {
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  spindle_.use(cfg_.data_write_latency);
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  ++writes_;
+  return Status::ok();
+}
+
+Status VirtualDisk::data_read() {
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  spindle_.use(cfg_.read_latency);
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  ++reads_;
+  return Status::ok();
+}
+
+Result<std::vector<std::pair<std::uint32_t, Buffer>>> VirtualDisk::scan(
+    std::uint32_t lo, std::uint32_t hi) {
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  hi = std::min<std::uint32_t>(hi, static_cast<std::uint32_t>(cfg_.num_blocks));
+  // One seek + sequential streaming: ~32 blocks per rotation-equivalent.
+  const std::uint32_t span = hi > lo ? hi - lo : 0;
+  spindle_.use(cfg_.read_latency * (1 + span / 32));
+  if (failed_) return Status::error(Errc::io_error, "disk failed");
+  ++reads_;
+  std::vector<std::pair<std::uint32_t, Buffer>> out;
+  for (std::uint32_t b = lo; b < hi; ++b) {
+    if (blocks_[b] && !blocks_[b]->empty()) out.emplace_back(b, *blocks_[b]);
+  }
+  return out;
+}
+
+std::optional<Buffer> VirtualDisk::peek(std::uint32_t block) const {
+  if (block >= cfg_.num_blocks) return std::nullopt;
+  return blocks_[block];
+}
+
+}  // namespace amoeba::disk

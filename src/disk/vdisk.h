@@ -1,0 +1,81 @@
+// A simulated Wren-IV-class disk: a persistent array of fixed-size blocks
+// behind a FIFO spindle. Contents survive machine crashes (create it through
+// Machine::persistent). A block write is atomic: a process killed mid-write
+// leaves the old contents (the paper assumes clean failures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace amoeba::disk {
+
+inline constexpr std::size_t kBlockSize = 1024;
+
+struct DiskConfig {
+  std::size_t num_blocks = 4096;
+  sim::Duration write_latency = sim::msec(40);  // seek + rotation + write
+  sim::Duration read_latency = sim::msec(25);
+  /// File-data writes (bullet creates) batch with write-behind and land in
+  /// the contiguous data area, so they cost less than a raw-partition
+  /// block write with its forced seek.
+  sim::Duration data_write_latency = sim::msec(24);
+};
+
+class VirtualDisk {
+ public:
+  VirtualDisk(sim::Simulator& sim, std::string name, DiskConfig cfg = {});
+  VirtualDisk(const VirtualDisk&) = delete;
+  VirtualDisk& operator=(const VirtualDisk&) = delete;
+
+  /// Blocking write of one block (data padded/truncated to kBlockSize).
+  Status write_block(std::uint32_t block, const Buffer& data);
+  /// Blocking read of one block.
+  Result<Buffer> read_block(std::uint32_t block);
+
+  /// I/O against the file-data area (bullet files). Costs the same time and
+  /// counts in the stats, but the bytes live in the caller's store — the
+  /// block address space here models only the admin partition.
+  Status data_write();
+  Status data_read();
+
+  /// Sequential scan of [lo, hi): returns the non-empty blocks. Costs one
+  /// seek plus streaming (far cheaper than per-block random reads); used by
+  /// servers reloading their admin partition at boot.
+  Result<std::vector<std::pair<std::uint32_t, Buffer>>> scan(
+      std::uint32_t lo, std::uint32_t hi);
+
+  /// Fault injection: after this call every op fails with io_error
+  /// (a "head crash", paper Sec. 3.1's administrator-escape scenario).
+  void fail_permanently() { failed_ = true; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Instant, non-time-consuming access for recovery bootstrap inspection
+  /// in tests (not used by services).
+  [[nodiscard]] std::optional<Buffer> peek(std::uint32_t block) const;
+
+  [[nodiscard]] std::size_t num_blocks() const { return cfg_.num_blocks; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  void reset_stats() {
+    writes_ = 0;
+    reads_ = 0;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  DiskConfig cfg_;
+  sim::FifoResource spindle_;
+  std::vector<std::optional<Buffer>> blocks_;
+  bool failed_ = false;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace amoeba::disk

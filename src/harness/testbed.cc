@@ -1,0 +1,164 @@
+#include "harness/testbed.h"
+
+#include "bullet/bullet.h"
+#include "disk/disk_server.h"
+#include "dir/proto.h"
+
+namespace amoeba::harness {
+
+namespace {
+
+constexpr net::Port kDirPort{1000};
+constexpr net::Port kGroupPort{1001};
+constexpr net::Port kAdminBase{1100};
+constexpr net::Port kBulletBase{1200};
+constexpr net::Port kDiskBase{1300};
+constexpr net::Port kNfsFilePort{3001};
+
+/// Storage machine: a Bullet server and a raw-partition disk server sharing
+/// one Wren IV disk (paper Fig. 3).
+void install_storage(net::Machine& m, net::Port bullet_port,
+                     net::Port disk_port) {
+  m.install_service("storage", [bullet_port, disk_port](net::Machine& mm) {
+    auto& vdisk = mm.persistent<disk::VirtualDisk>("disk", [&mm] {
+      disk::DiskConfig cfg;
+      cfg.write_latency = sim::msec(48);  // raw partition: seek + write
+      return std::make_unique<disk::VirtualDisk>(mm.sim(), mm.name() + ".disk",
+                                                 cfg);
+    });
+    bullet::BulletServer bullet_srv(mm, bullet_port, vdisk, /*threads=*/2);
+    disk::DiskServer disk_srv(mm, disk_port, vdisk, dir::kMaxObjects + 8,
+                              /*threads=*/2);
+    mm.sim().sleep_for(sim::kTimeMax / 2);  // servers live in this frame
+  });
+}
+
+}  // namespace
+
+const char* flavor_name(Flavor f) {
+  switch (f) {
+    case Flavor::group: return "group(3)";
+    case Flavor::group_nvram: return "group+NVRAM(3)";
+    case Flavor::rpc: return "rpc(2)";
+    case Flavor::rpc_nvram: return "rpc+NVRAM(2)";
+    case Flavor::nfs: return "sun-nfs(1)";
+  }
+  return "?";
+}
+
+Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
+  sim_ = std::make_unique<sim::Simulator>(opts.seed);
+  net::NetConfig net_cfg;
+  net_cfg.segments = opts.network_segments;
+  cluster_ = std::make_unique<net::Cluster>(*sim_, net_cfg);
+
+  int replicas = opts.replicas;
+  if (replicas == 0) {
+    switch (opts.flavor) {
+      case Flavor::group:
+      case Flavor::group_nvram: replicas = 3; break;
+      case Flavor::rpc:
+      case Flavor::rpc_nvram: replicas = 2; break;
+      case Flavor::nfs: replicas = 1; break;
+    }
+  }
+
+  if (opts.flavor == Flavor::nfs) {
+    net::Machine& m = cluster_->add_machine("nfs0");
+    dir_servers_.push_back(&m);
+    dir::NfsDirOptions no;
+    no.dir_port = kDirPort;
+    no.file_port = kNfsFilePort;
+    no.server_threads = opts.dir_server_threads;
+    dir::install_nfs_dir_server(m, no);
+    file_port_ = kNfsFilePort;
+  } else {
+    // Directory server machines first (ids 0..n-1), then their storage
+    // machines; one private bullet+disk pair per directory server.
+    for (int i = 0; i < replicas; ++i) {
+      dir_servers_.push_back(
+          &cluster_->add_machine("dir" + std::to_string(i)));
+    }
+    for (int i = 0; i < replicas; ++i) {
+      net::Machine& s = cluster_->add_machine("sto" + std::to_string(i));
+      storage_.push_back(&s);
+      install_storage(s, net::Port{kBulletBase.v + static_cast<std::uint64_t>(i)},
+                      net::Port{kDiskBase.v + static_cast<std::uint64_t>(i)});
+    }
+    std::vector<net::MachineId> ids;
+    for (auto* m : dir_servers_) ids.push_back(m->id());
+
+    if (opts.flavor == Flavor::rpc || opts.flavor == Flavor::rpc_nvram) {
+      for (int i = 0; i < replicas; ++i) {
+        dir::RpcDirOptions ro;
+        ro.dir_port = kDirPort;
+        ro.admin_port_base = net::Port{2100};
+        ro.bullet_port = net::Port{kBulletBase.v + static_cast<std::uint64_t>(i)};
+        ro.disk_port = net::Port{kDiskBase.v + static_cast<std::uint64_t>(i)};
+        ro.dir_servers = ids;
+        ro.server_threads = opts.dir_server_threads;
+        ro.use_nvram = (opts.flavor == Flavor::rpc_nvram);
+        ro.nvram_bytes = opts.nvram_bytes;
+        dir::install_rpc_dir_server(dir_server(i), ro);
+      }
+    } else {
+      for (int i = 0; i < replicas; ++i) {
+        dir::GroupDirOptions go;
+        go.dir_port = kDirPort;
+        go.group_port = kGroupPort;
+        go.admin_port_base = kAdminBase;
+        go.bullet_port = net::Port{kBulletBase.v + static_cast<std::uint64_t>(i)};
+        go.disk_port = net::Port{kDiskBase.v + static_cast<std::uint64_t>(i)};
+        go.dir_servers = ids;
+        go.server_threads = opts.dir_server_threads;
+        go.resilience = opts.resilience;
+        go.use_nvram = (opts.flavor == Flavor::group_nvram);
+        go.nvram_bytes = opts.nvram_bytes;
+        go.improved_recovery = opts.improved_recovery;
+        dir::install_group_dir_server(dir_server(i), go);
+      }
+    }
+    file_port_ = kBulletBase;  // bullet server 0
+  }
+
+  for (int i = 0; i < opts.clients; ++i) {
+    clients_.push_back(&cluster_->add_machine("cli" + std::to_string(i)));
+  }
+}
+
+bool Testbed::wait_ready(sim::Duration limit) {
+  const sim::Time deadline = sim_->now() + limit;
+  sim_->run_for(sim::msec(300));  // boot scans, locate, group formation
+  while (sim_->now() < deadline) {
+    sim_->run_for(sim::msec(50));
+    bool ready = true;
+    if (opts_.flavor == Flavor::group || opts_.flavor == Flavor::group_nvram) {
+      for (auto* m : dir_servers_) {
+        ready = ready && !dir::group_dir_stats(*m).in_recovery;
+      }
+    }
+    if (ready) return true;
+  }
+  return false;
+}
+
+std::uint64_t Testbed::total_disk_writes() const {
+  std::uint64_t n = 0;
+  for (auto* m : storage_) {
+    auto& d = m->persistent<disk::VirtualDisk>("disk", [m] {
+      return std::make_unique<disk::VirtualDisk>(m->sim(), "disk");
+    });
+    n += d.writes();
+  }
+  if (opts_.flavor == Flavor::nfs) {
+    auto* m = dir_servers_.front();
+    disk::DiskConfig dcfg;
+    auto& d = m->persistent<disk::VirtualDisk>("nfs.disk", [m, dcfg] {
+      return std::make_unique<disk::VirtualDisk>(m->sim(), "nfs.disk", dcfg);
+    });
+    n += d.writes();
+  }
+  return n;
+}
+
+}  // namespace amoeba::harness

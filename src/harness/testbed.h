@@ -1,0 +1,85 @@
+// Standard experiment clusters replicating the paper's testbed (Sec. 4):
+// Sun3/60-class directory server machines, storage machines each running a
+// Bullet server and a disk server over one shared Wren IV disk, and client
+// machines — all on one simulated 10 Mbit/s Ethernet.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dir/group_server.h"
+#include "dir/nfs_server.h"
+#include "dir/rpc_server.h"
+#include "net/cluster.h"
+
+namespace amoeba::harness {
+
+/// Which directory-service implementation a testbed runs.
+enum class Flavor {
+  group,        // triplicated, group communication (the paper's design)
+  group_nvram,  // same, with the NVRAM backend of Sec. 4.1
+  rpc,          // duplicated, RPC + intentions + lazy replication
+  rpc_nvram,    // the paper's Sec. 4.1 prediction: RPC with NVRAM
+  nfs,          // single server baseline
+};
+
+const char* flavor_name(Flavor f);
+
+struct TestbedOptions {
+  Flavor flavor = Flavor::group;
+  int clients = 1;
+  std::uint64_t seed = 1;
+  int dir_server_threads = 3;
+  bool improved_recovery = false;
+  int resilience = 2;
+  int replicas = 0;  // 0 => flavor default (3 group / 2 rpc / 1 nfs)
+  std::size_t nvram_bytes = 24 * 1024;
+  int network_segments = 1;  // >1: redundant Ethernets (paper Sec. 2)
+};
+
+/// A fully-wired simulated deployment. Owns the Simulator; build one per
+/// measurement run.
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions opts);
+
+  sim::Simulator& sim() { return *sim_; }
+  net::Cluster& cluster() { return *cluster_; }
+
+  [[nodiscard]] int num_dir_servers() const {
+    return static_cast<int>(dir_servers_.size());
+  }
+  net::Machine& dir_server(int i) { return *dir_servers_[static_cast<std::size_t>(i)]; }
+  net::Machine& storage(int i) { return *storage_[static_cast<std::size_t>(i)]; }
+  net::Machine& client(int i) { return *clients_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int num_clients() const {
+    return static_cast<int>(clients_.size());
+  }
+
+  [[nodiscard]] net::Port dir_port() const { return dir_port_; }
+  /// A file server usable by the tmp-file workload (bullet protocol):
+  /// bullet server 0 for Amoeba flavors, the NFS file endpoint for nfs.
+  [[nodiscard]] net::Port file_port() const { return file_port_; }
+
+  [[nodiscard]] const TestbedOptions& options() const { return opts_; }
+
+  /// Run the simulation until every directory server reports it finished
+  /// recovery (service ready). Returns false if it never became ready.
+  bool wait_ready(sim::Duration limit = sim::sec(30));
+
+  /// Aggregate count of disk writes across all storage machines + the NFS
+  /// local disk (for the Sec. 3.1 disk-op analysis).
+  [[nodiscard]] std::uint64_t total_disk_writes() const;
+
+ private:
+  TestbedOptions opts_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::vector<net::Machine*> dir_servers_;
+  std::vector<net::Machine*> storage_;
+  std::vector<net::Machine*> clients_;
+  net::Port dir_port_;
+  net::Port file_port_;
+};
+
+}  // namespace amoeba::harness

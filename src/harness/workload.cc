@@ -1,0 +1,286 @@
+#include "harness/workload.h"
+
+#include <cmath>
+
+#include "bullet/bullet.h"
+#include "common/log.h"
+#include "dir/client.h"
+
+namespace amoeba::harness {
+
+namespace {
+
+/// Create a directory, retrying while the service is still coming up.
+Result<cap::Capability> make_dir_retry(dir::DirClient& dc,
+                                       sim::Simulator& sim, int tries = 40) {
+  for (int i = 0; i < tries; ++i) {
+    auto res = dc.create_dir({"owner", "group", "other"});
+    if (res.is_ok()) return res;
+    sim.sleep_for(sim::msec(100));
+  }
+  return Status::error(Errc::unreachable, "service never became ready");
+}
+
+cap::Capability dummy_cap(std::uint64_t n) {
+  cap::Capability c;
+  c.port = net::Port{0xf11e};
+  c.object = static_cast<std::uint32_t>(n & 0xffffff);
+  c.rights = cap::kRightsAll;
+  c.check = mix64(n);
+  return c;
+}
+
+}  // namespace
+
+Stats summarize(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+LatencyResult measure_latencies(Testbed& bed, int warmup, int iters) {
+  LatencyResult out;
+  sim::Simulator& sim = bed.sim();
+  net::Machine& cm = bed.client(0);
+  bool done = false;
+
+  cm.spawn("fig7", [&] {
+    rpc::RpcClient rpc(cm);
+    dir::DirClient dc(rpc, bed.dir_port());
+    bullet::BulletClient fc(rpc, bed.file_port());
+
+    auto dir_cap = make_dir_retry(dc, sim);
+    if (!dir_cap.is_ok()) return;
+
+    // --- append-delete -----------------------------------------------
+    std::vector<double> ad;
+    for (int i = 0; i < warmup + iters; ++i) {
+      sim::Time t0 = sim.now();
+      Status a = dc.append_row(*dir_cap, "tmpname", {dummy_cap(1)});
+      Status d = dc.delete_row(*dir_cap, "tmpname");
+      if (!a.is_ok() || !d.is_ok()) {
+        LOG_WARN << "append-delete failed: " << a.to_string() << " / "
+                 << d.to_string();
+        continue;
+      }
+      if (i >= warmup) ad.push_back(sim::to_ms(sim.now() - t0));
+    }
+
+    // --- tmp file -----------------------------------------------------
+    std::vector<double> tf;
+    for (int i = 0; i < warmup + iters; ++i) {
+      sim::Time t0 = sim.now();
+      auto file = fc.create(to_buffer("4byt"));
+      if (!file.is_ok()) continue;
+      Status reg = dc.append_row(*dir_cap, "tmpfile", {*file});
+      auto found = dc.lookup(*dir_cap, "tmpfile");
+      Result<Buffer> data = found.is_ok()
+                                ? fc.read(*found)
+                                : Result<Buffer>(found.status());
+      Status del = dc.delete_row(*dir_cap, "tmpfile");
+      (void)fc.del(*file);
+      if (reg.is_ok() && data.is_ok() && del.is_ok() && i >= warmup) {
+        tf.push_back(sim::to_ms(sim.now() - t0));
+      }
+    }
+
+    // --- lookup ---------------------------------------------------------
+    (void)dc.append_row(*dir_cap, "fixture", {dummy_cap(2)});
+    std::vector<double> lk;
+    for (int i = 0; i < warmup + iters; ++i) {
+      sim::Time t0 = sim.now();
+      auto res = dc.lookup(*dir_cap, "fixture");
+      if (res.is_ok() && i >= warmup) {
+        lk.push_back(sim::to_ms(sim.now() - t0));
+      }
+    }
+
+    out.append_delete_ms = summarize(ad).mean;
+    out.tmp_file_ms = summarize(tf).mean;
+    out.lookup_ms = summarize(lk).mean;
+    out.ok = !ad.empty() && !tf.empty() && !lk.empty();
+    done = true;
+  });
+
+  const sim::Time deadline = sim.now() + sim::sec(300);
+  while (!done && sim.now() < deadline) sim.run_for(sim::msec(500));
+  return out;
+}
+
+ThroughputResult lookup_throughput(Testbed& bed, sim::Duration warmup,
+                                   sim::Duration window) {
+  ThroughputResult out;
+  sim::Simulator& sim = bed.sim();
+
+  // One shared directory with a warm row; all clients look it up, as in the
+  // paper's read benchmark.
+  cap::Capability shared{};
+  bool ready = false;
+  bed.client(0).spawn("setup", [&] {
+    rpc::RpcClient rpc(bed.client(0));
+    dir::DirClient dc(rpc, bed.dir_port());
+    auto cap = make_dir_retry(dc, sim);
+    if (!cap.is_ok()) return;
+    if (!dc.append_row(*cap, "entry", {dummy_cap(3)}).is_ok()) return;
+    shared = *cap;
+    ready = true;
+  });
+  sim.run_for(sim::sec(15));
+  if (!ready) return out;
+
+  bool measuring = false;
+  std::uint64_t completed = 0, failed = 0;
+  for (int i = 0; i < bed.num_clients(); ++i) {
+    net::Machine& cm = bed.client(i);
+    cm.spawn("load", [&] {
+      rpc::RpcClient rpc(cm);
+      dir::DirClient dc(rpc, bed.dir_port());
+      while (true) {
+        auto res = dc.lookup(shared, "entry");
+        if (measuring) {
+          if (res.is_ok()) {
+            ++completed;
+          } else {
+            ++failed;
+          }
+        }
+      }
+    });
+  }
+  sim.run_for(warmup);
+  measuring = true;
+  sim.run_for(window);
+  measuring = false;
+
+  out.completed = completed;
+  out.failed = failed;
+  out.ops_per_sec =
+      static_cast<double>(completed) / (static_cast<double>(window) / 1e6);
+  out.ok = completed > 0;
+  return out;
+}
+
+ThroughputResult update_throughput(Testbed& bed, sim::Duration warmup,
+                                   sim::Duration window) {
+  ThroughputResult out;
+  sim::Simulator& sim = bed.sim();
+
+  // Each client owns a private directory (updates to distinct directories,
+  // still serialized by the service as in the paper).
+  std::vector<cap::Capability> caps(
+      static_cast<std::size_t>(bed.num_clients()));
+  int ready = 0;
+  for (int i = 0; i < bed.num_clients(); ++i) {
+    net::Machine& cm = bed.client(i);
+    cm.spawn("setup", [&, i] {
+      rpc::RpcClient rpc(cm);
+      dir::DirClient dc(rpc, bed.dir_port());
+      auto cap = make_dir_retry(dc, sim);
+      if (!cap.is_ok()) return;
+      caps[static_cast<std::size_t>(i)] = *cap;
+      ++ready;
+    });
+  }
+  sim.run_for(sim::sec(20));
+  if (ready != bed.num_clients()) return out;
+
+  bool measuring = false;
+  std::uint64_t completed = 0, failed = 0;
+  for (int i = 0; i < bed.num_clients(); ++i) {
+    net::Machine& cm = bed.client(i);
+    cm.spawn("load", [&, i] {
+      rpc::RpcClient rpc(cm);
+      dir::DirClient dc(rpc, bed.dir_port());
+      const cap::Capability mycap = caps[static_cast<std::size_t>(i)];
+      const std::string name = "t" + std::to_string(i);
+      while (true) {
+        Status a = dc.append_row(mycap, name, {dummy_cap(9)});
+        Status d = dc.delete_row(mycap, name);
+        if (measuring) {
+          if (a.is_ok() && d.is_ok()) {
+            ++completed;  // one append-delete pair
+          } else {
+            ++failed;
+          }
+        }
+      }
+    });
+  }
+  sim.run_for(warmup);
+  measuring = true;
+  sim.run_for(window);
+  measuring = false;
+
+  out.completed = completed;
+  out.failed = failed;
+  out.ops_per_sec =
+      static_cast<double>(completed) / (static_cast<double>(window) / 1e6);
+  out.ok = completed > 0;
+  return out;
+}
+
+ThroughputResult append_throughput(Testbed& bed, sim::Duration warmup,
+                                   sim::Duration window) {
+  ThroughputResult out;
+  sim::Simulator& sim = bed.sim();
+
+  std::vector<cap::Capability> caps(
+      static_cast<std::size_t>(bed.num_clients()));
+  int ready = 0;
+  for (int i = 0; i < bed.num_clients(); ++i) {
+    net::Machine& cm = bed.client(i);
+    cm.spawn("setup", [&, i] {
+      rpc::RpcClient rpc(cm);
+      dir::DirClient dc(rpc, bed.dir_port());
+      auto cap = make_dir_retry(dc, sim);
+      if (!cap.is_ok()) return;
+      caps[static_cast<std::size_t>(i)] = *cap;
+      ++ready;
+    });
+  }
+  sim.run_for(sim::sec(20));
+  if (ready != bed.num_clients()) return out;
+
+  bool measuring = false;
+  std::uint64_t completed = 0, failed = 0;
+  for (int i = 0; i < bed.num_clients(); ++i) {
+    net::Machine& cm = bed.client(i);
+    cm.spawn("load", [&, i] {
+      rpc::RpcClient rpc(cm);
+      dir::DirClient dc(rpc, bed.dir_port());
+      const cap::Capability mycap = caps[static_cast<std::size_t>(i)];
+      std::uint64_t k = 0;
+      while (true) {
+        Status a = dc.append_row(
+            mycap, "u" + std::to_string(i) + "." + std::to_string(k++),
+            {dummy_cap(k)});
+        if (measuring) {
+          if (a.is_ok()) {
+            ++completed;
+          } else {
+            ++failed;
+          }
+        }
+      }
+    });
+  }
+  sim.run_for(warmup);
+  measuring = true;
+  sim.run_for(window);
+  measuring = false;
+
+  out.completed = completed;
+  out.failed = failed;
+  out.ops_per_sec =
+      static_cast<double>(completed) / (static_cast<double>(window) / 1e6);
+  out.ok = completed > 0;
+  return out;
+}
+
+}  // namespace amoeba::harness

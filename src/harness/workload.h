@@ -1,0 +1,64 @@
+// The paper's three workloads (Sec. 4.1-4.2) as reusable drivers:
+//
+//   * append-delete: append a (name, capability) pair to a directory and
+//     delete it again — the paper's update benchmark.
+//   * tmp-file: create a 4-byte file, register its capability, look the
+//     name up, read the file back, delete the name — the "compiler
+//     temporary" benchmark exercising directory + file service together.
+//   * lookup: resolve a name from a warm directory — the read benchmark.
+//
+// Latency runs use a single client on a quiet network (Fig. 7); throughput
+// runs use N closed-loop clients and count completed operations in a
+// measurement window (Figs. 8 and 9).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "harness/testbed.h"
+
+namespace amoeba::harness {
+
+struct LatencyResult {
+  double append_delete_ms = 0;  // one append+delete pair
+  double tmp_file_ms = 0;       // full tmp-file cycle
+  double lookup_ms = 0;         // one lookup
+  bool ok = false;
+};
+
+/// Fig. 7: single-client latencies, averaged over `iters` iterations after
+/// `warmup` discarded ones.
+LatencyResult measure_latencies(Testbed& bed, int warmup = 3, int iters = 15);
+
+struct ThroughputResult {
+  double ops_per_sec = 0;   // lookups/sec or append-delete pairs/sec
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  bool ok = false;
+};
+
+/// Fig. 8: total lookups/sec with `bed.num_clients()` closed-loop clients.
+ThroughputResult lookup_throughput(Testbed& bed,
+                                   sim::Duration warmup = sim::sec(2),
+                                   sim::Duration window = sim::sec(10));
+
+/// Fig. 9: total append-delete pairs/sec with closed-loop clients.
+ThroughputResult update_throughput(Testbed& bed,
+                                   sim::Duration warmup = sim::sec(2),
+                                   sim::Duration window = sim::sec(20));
+
+/// Append-only updates (unique names, no deletes): defeats the NVRAM
+/// append+delete cancellation, so the log actually fills and flush
+/// behaviour becomes visible (used by the NVRAM-size ablation).
+ThroughputResult append_throughput(Testbed& bed,
+                                   sim::Duration warmup = sim::sec(2),
+                                   sim::Duration window = sim::sec(15));
+
+/// Mean and population standard deviation.
+struct Stats {
+  double mean = 0;
+  double stddev = 0;
+};
+Stats summarize(const std::vector<double>& xs);
+
+}  // namespace amoeba::harness

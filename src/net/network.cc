@@ -1,0 +1,126 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "net/cluster.h"
+
+namespace amoeba::net {
+
+sim::Duration Network::latency(std::uint32_t size_bytes) {
+  const double bytes_us =
+      cfg_.per_byte_us * static_cast<double>(size_bytes);
+  const double jitter = cfg_.jitter_frac *
+                        static_cast<double>(cfg_.base_latency) *
+                        sim_.rng().uniform();
+  return cfg_.base_latency + static_cast<sim::Duration>(bytes_us + jitter);
+}
+
+bool Network::segment_connected(int segment, MachineId a, MachineId b) const {
+  const auto& groups = seg_groups_[static_cast<std::size_t>(segment)];
+  if (groups.empty()) return true;  // no partition on this segment
+  for (const auto& g : groups) {
+    const bool has_a = std::find(g.begin(), g.end(), a) != g.end();
+    const bool has_b = std::find(g.begin(), g.end(), b) != g.end();
+    if (has_a && has_b) return true;
+    if (has_a || has_b) return false;  // groups are disjoint
+  }
+  return false;  // unlisted machines are isolated
+}
+
+bool Network::connected(MachineId a, MachineId b) const {
+  if (a == b) return true;
+  for (int s = 0; s < static_cast<int>(seg_groups_.size()); ++s) {
+    if (segment_connected(s, a, b)) return true;
+  }
+  return false;
+}
+
+bool Network::partitioned() const {
+  for (const auto& g : seg_groups_) {
+    if (!g.empty()) return true;
+  }
+  return false;
+}
+
+void Network::set_partition(std::vector<std::vector<MachineId>> groups,
+                            int segment) {
+  assert(segment >= 0 &&
+         segment < static_cast<int>(seg_groups_.size()) &&
+         "no such network segment");
+  seg_groups_[static_cast<std::size_t>(segment)] = std::move(groups);
+}
+
+void Network::heal_partition(int segment) {
+  if (segment < 0) {
+    for (auto& g : seg_groups_) g.clear();
+    return;
+  }
+  assert(segment < static_cast<int>(seg_groups_.size()));
+  seg_groups_[static_cast<std::size_t>(segment)].clear();
+}
+
+void Network::deliver_one(MachineId src, MachineId dst, Port port,
+                          Buffer payload, std::uint32_t size) {
+  if (cfg_.drop_prob > 0 && sim_.rng().uniform() < cfg_.drop_prob) {
+    stats_.dropped_loss++;
+    return;
+  }
+  sim::Duration lat = latency(size);
+  sim_.post(lat, [this, src, dst, port, payload = std::move(payload)]() mutable {
+    // Connectivity and liveness are evaluated at delivery time.
+    Machine& m = cluster_.machine(dst);
+    if (!m.up()) {
+      stats_.dropped_down++;
+      return;
+    }
+    if (!connected(src, dst)) {
+      stats_.dropped_part++;
+      return;
+    }
+    const PacketHandler* handler = m.handler_for(port);
+    if (handler == nullptr) {
+      stats_.dropped_noport++;
+      return;
+    }
+    stats_.deliveries++;
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.port = port;
+    pkt.size_bytes = static_cast<std::uint32_t>(payload.size());
+    pkt.payload = std::move(payload);
+    (*handler)(std::move(pkt));
+  });
+}
+
+void Network::unicast(MachineId src, MachineId dst, Port port, Buffer payload) {
+  stats_.wire_packets++;
+  stats_.unicasts++;
+  auto size = static_cast<std::uint32_t>(payload.size() + 64);  // headers
+  deliver_one(src, dst, port, std::move(payload), size);
+}
+
+void Network::multicast(MachineId src, const std::vector<MachineId>& dsts,
+                        Port port, Buffer payload) {
+  stats_.wire_packets++;
+  stats_.multicasts++;
+  auto size = static_cast<std::uint32_t>(payload.size() + 64);
+  for (MachineId dst : dsts) {
+    if (dst == src) continue;  // loopback handled by the caller
+    deliver_one(src, dst, port, payload, size);
+  }
+}
+
+void Network::broadcast(MachineId src, Port port, Buffer payload) {
+  stats_.wire_packets++;
+  stats_.broadcasts++;
+  auto size = static_cast<std::uint32_t>(payload.size() + 64);
+  for (MachineId dst : cluster_.machine_ids()) {
+    if (dst == src) continue;
+    deliver_one(src, dst, port, payload, size);
+  }
+}
+
+}  // namespace amoeba::net

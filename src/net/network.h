@@ -1,0 +1,92 @@
+// The simulated 10 Mbit/s Ethernet segment: unicast, true multicast (one
+// wire packet reaching every destination, as Amoeba uses for SendToGroup),
+// broadcast, partitions and probabilistic loss.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace amoeba::net {
+
+class Cluster;
+
+struct NetConfig {
+  sim::Duration base_latency = sim::usec(900);  // media + protocol stack
+  double per_byte_us = 0.8;                     // 10 Mbit/s
+  double jitter_frac = 0.2;   // uniform extra latency, fraction of base
+  double drop_prob = 0.0;     // per-destination independent loss
+  /// Redundant network segments (paper Sec. 2: the directory servers
+  /// "should be connected by multiple, redundant networks"). A packet gets
+  /// through if ANY segment connects source and destination, so a partition
+  /// or failure of one segment is masked by the others.
+  int segments = 1;
+};
+
+struct NetStats {
+  std::uint64_t wire_packets = 0;   // unicast + multicast + broadcast sends
+  std::uint64_t unicasts = 0;
+  std::uint64_t multicasts = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t deliveries = 0;     // packets handed to an endpoint
+  std::uint64_t dropped_loss = 0;   // lost by injected loss
+  std::uint64_t dropped_down = 0;   // destination machine down
+  std::uint64_t dropped_part = 0;   // blocked by a partition
+  std::uint64_t dropped_noport = 0; // no endpoint registered
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, Cluster& cluster, NetConfig cfg)
+      : sim_(sim),
+        cluster_(cluster),
+        cfg_(cfg),
+        seg_groups_(static_cast<std::size_t>(std::max(1, cfg.segments))) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void unicast(MachineId src, MachineId dst, Port port, Buffer payload);
+  /// One wire packet delivered to every destination (Ethernet multicast).
+  void multicast(MachineId src, const std::vector<MachineId>& dsts, Port port,
+                 Buffer payload);
+  /// One wire packet delivered to every attached machine except the sender.
+  void broadcast(MachineId src, Port port, Buffer payload);
+
+  /// Install a partition on one segment: machines in different groups
+  /// cannot communicate over it. Machines not listed in any group are
+  /// isolated (an empty group list takes the whole segment down). With
+  /// multiple segments, traffic flows as long as any segment connects.
+  void set_partition(std::vector<std::vector<MachineId>> groups,
+                     int segment = 0);
+  void heal_partition(int segment = -1);  // -1: all segments
+  /// Take a whole segment down / bring it back.
+  void fail_segment(int segment) { set_partition({{}}, segment); }
+  [[nodiscard]] bool connected(MachineId a, MachineId b) const;
+  [[nodiscard]] bool partitioned() const;
+  [[nodiscard]] int segments() const { return cfg_.segments; }
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] const NetConfig& config() const { return cfg_; }
+  void set_drop_prob(double p) { cfg_.drop_prob = p; }
+
+ private:
+  void deliver_one(MachineId src, MachineId dst, Port port, Buffer payload,
+                   std::uint32_t size);
+  sim::Duration latency(std::uint32_t size_bytes);
+  [[nodiscard]] bool segment_connected(int segment, MachineId a,
+                                       MachineId b) const;
+
+  sim::Simulator& sim_;
+  Cluster& cluster_;
+  NetConfig cfg_;
+  /// Per-segment partition state; empty outer vector entry = no partition.
+  std::vector<std::vector<std::vector<MachineId>>> seg_groups_;
+  NetStats stats_;
+};
+
+}  // namespace amoeba::net

@@ -1,0 +1,61 @@
+#include "nvram/nvram.h"
+
+#include <algorithm>
+
+namespace amoeba::nvram {
+
+bool Nvram::would_fit(std::size_t data_size) const {
+  return used_ + footprint(data_size) <= cfg_.capacity_bytes;
+}
+
+Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data) {
+  if (!would_fit(data.size())) {
+    return Status::error(Errc::full, "nvram full");
+  }
+  sim_.sleep_for(cfg_.write_latency);
+  Record rec;
+  rec.id = next_id_++;
+  rec.tag = tag;
+  used_ += footprint(data.size());
+  rec.data = std::move(data);
+  log_.push_back(std::move(rec));
+  ++appends_;
+  return log_.back().id;
+}
+
+bool Nvram::cancel(std::uint64_t id) {
+  auto it = std::find_if(log_.begin(), log_.end(),
+                         [id](const Record& r) { return r.id == id; });
+  if (it == log_.end()) return false;
+  used_ -= footprint(it->data.size());
+  log_.erase(it);
+  ++cancels_;
+  return true;
+}
+
+std::size_t Nvram::cancel_tag(std::uint64_t tag) {
+  std::size_t n = 0;
+  for (auto it = log_.begin(); it != log_.end();) {
+    if (it->tag == tag) {
+      used_ -= footprint(it->data.size());
+      it = log_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  cancels_ += n;
+  return n;
+}
+
+const Record* Nvram::front() const {
+  return log_.empty() ? nullptr : &log_.front();
+}
+
+void Nvram::pop_front() {
+  if (log_.empty()) return;
+  used_ -= footprint(log_.front().data.size());
+  log_.pop_front();
+}
+
+}  // namespace amoeba::nvram

@@ -1,0 +1,77 @@
+// Simulated battery-backed NVRAM (paper Sec. 4.1): a small byte-addressable
+// region that survives machine crashes and costs RAM-speed writes. The
+// directory service's NVRAM backend appends log records here instead of
+// performing disk writes in the critical path; a background flusher applies
+// them to disk when the server is idle or the NVRAM fills up.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace amoeba::nvram {
+
+struct NvramConfig {
+  std::size_t capacity_bytes = 24 * 1024;     // 24 KB, as in the paper
+  sim::Duration write_latency = sim::usec(100);  // per record
+};
+
+/// A log record in NVRAM. `tag` lets the owner cancel matched records
+/// (e.g. an append whose delete arrives before the flush — the /tmp
+/// optimisation in Sec. 4.1).
+struct Record {
+  std::uint64_t id = 0;
+  std::uint64_t tag = 0;
+  Buffer data;
+};
+
+class Nvram {
+ public:
+  Nvram(sim::Simulator& sim, NvramConfig cfg = {}) : sim_(sim), cfg_(cfg) {}
+  Nvram(const Nvram&) = delete;
+  Nvram& operator=(const Nvram&) = delete;
+
+  /// Append a record. Fails with Errc::full when it does not fit; the
+  /// caller must flush first.
+  Result<std::uint64_t> append(std::uint64_t tag, Buffer data);
+
+  /// Remove a not-yet-flushed record by id (no time cost: NVRAM is RAM).
+  bool cancel(std::uint64_t id);
+  /// Remove all records with `tag`; returns how many were cancelled.
+  std::size_t cancel_tag(std::uint64_t tag);
+
+  /// Oldest record, if any (the flusher consumes front-to-back).
+  [[nodiscard]] const Record* front() const;
+  void pop_front();
+
+  [[nodiscard]] bool empty() const { return log_.empty(); }
+  [[nodiscard]] std::size_t record_count() const { return log_.size(); }
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  [[nodiscard]] std::size_t capacity() const { return cfg_.capacity_bytes; }
+  [[nodiscard]] bool would_fit(std::size_t data_size) const;
+
+  /// All records, oldest first (crash-recovery replay).
+  [[nodiscard]] const std::deque<Record>& records() const { return log_; }
+
+  [[nodiscard]] std::uint64_t appends() const { return appends_; }
+  [[nodiscard]] std::uint64_t cancels() const { return cancels_; }
+
+ private:
+  static std::size_t footprint(std::size_t data_size) {
+    return data_size + 16;  // id + length bookkeeping
+  }
+
+  sim::Simulator& sim_;
+  NvramConfig cfg_;
+  std::deque<Record> log_;
+  std::size_t used_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t appends_ = 0;
+  std::uint64_t cancels_ = 0;
+};
+
+}  // namespace amoeba::nvram

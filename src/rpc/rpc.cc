@@ -1,0 +1,208 @@
+#include "rpc/rpc.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace amoeba::rpc {
+
+namespace {
+
+Buffer encode_header(MsgType type, std::uint64_t xid) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(xid);
+  return w.take();
+}
+
+}  // namespace
+
+Port make_reply_port(MachineId m, std::uint32_t salt) {
+  return Port{(1ULL << 47) | (static_cast<std::uint64_t>(m.v) << 24) | salt};
+}
+
+// ---------------------------------------------------------------- RpcServer
+
+RpcServer::RpcServer(Machine& machine, Port port)
+    : machine_(machine),
+      port_(port),
+      pending_(machine.sim()),
+      binding_(machine, port, [this](Packet pkt) { on_packet(std::move(pkt)); }) {}
+
+void RpcServer::on_packet(Packet pkt) {
+  // Kernel-level handling: runs in scheduler context, never blocks.
+  try {
+    Reader r(pkt.payload);
+    auto type = static_cast<MsgType>(r.u8());
+    std::uint64_t xid = r.u64();
+    switch (type) {
+      case MsgType::locate: {
+        Port reply_port{r.u64()};
+        machine_.net().unicast(machine_.id(), pkt.src, reply_port,
+                               encode_header(MsgType::hereis, xid));
+        return;
+      }
+      case MsgType::request: {
+        Port reply_port{r.u64()};
+        // NOTHERE when every service thread is busy (paper Sec. 4.2).
+        if (idle_threads_ > static_cast<int>(pending_.size())) {
+          IncomingRequest req;
+          req.client = pkt.src;
+          req.reply_port = reply_port;
+          req.xid = xid;
+          req.data = r.rest();
+          pending_.send(std::move(req));
+        } else {
+          machine_.net().unicast(machine_.id(), pkt.src, reply_port,
+                                 encode_header(MsgType::nothere, xid));
+        }
+        return;
+      }
+      default:
+        LOG_WARN << machine_.name() << " rpc server: unexpected msg type";
+    }
+  } catch (const DecodeError& e) {
+    LOG_WARN << machine_.name() << " rpc server: bad packet: " << e.what();
+  }
+}
+
+IncomingRequest RpcServer::get_request() {
+  ++idle_threads_;
+  struct Guard {
+    int* n;
+    ~Guard() { --*n; }
+  } guard{&idle_threads_};
+  IncomingRequest req = pending_.recv();
+  ++served_;
+  return req;
+}
+
+void RpcServer::put_reply(const IncomingRequest& req, Buffer reply) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::reply));
+  w.u64(req.xid);
+  w.raw(reply);
+  machine_.net().unicast(machine_.id(), req.client, req.reply_port, w.take());
+}
+
+// ---------------------------------------------------------------- RpcClient
+
+namespace {
+std::uint32_t g_client_salt = 0;  // distinct reply port per client object
+}
+
+RpcClient::RpcClient(Machine& machine)
+    : machine_(machine),
+      reply_port_(make_reply_port(machine.id(), ++g_client_salt)),
+      endpoint_(machine, reply_port_) {}
+
+void RpcClient::note_hereis(Port port, MachineId server) {
+  auto& entry = cache_[port];
+  if (std::find(entry.servers.begin(), entry.servers.end(), server) ==
+      entry.servers.end()) {
+    entry.servers.push_back(server);
+  }
+}
+
+void RpcClient::drop_server(Port port, MachineId server) {
+  auto& entry = cache_[port];
+  std::erase(entry.servers, server);
+}
+
+void RpcClient::flush_port_cache(Port port) { cache_.erase(port); }
+
+std::optional<MachineId> RpcClient::current_server(Port port) const {
+  auto it = cache_.find(port);
+  if (it == cache_.end() || it->second.servers.empty()) return std::nullopt;
+  return it->second.servers.front();
+}
+
+Status RpcClient::locate(Port port, sim::Time deadline) {
+  std::uint64_t xid = next_xid_++;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::locate));
+  w.u64(xid);
+  w.u64(reply_port_.v);
+  machine_.net().broadcast(machine_.id(), port, w.take());
+
+  // Wait for the first HEREIS; later answers are appended to the cache as
+  // they arrive (drained here or during future waits).
+  while (machine_.sim().now() < deadline) {
+    auto pkt = endpoint_.mailbox().recv_until(deadline);
+    if (!pkt) break;
+    try {
+      Reader r(pkt->payload);
+      auto type = static_cast<MsgType>(r.u8());
+      (void)r.u64();
+      if (type == MsgType::hereis) {
+        note_hereis(port, pkt->src);
+        return Status::ok();
+      }
+      // Stale replies/nothere from older transactions: ignore.
+    } catch (const DecodeError&) {
+      // Malformed stray packet: ignore.
+    }
+  }
+  return Status::error(Errc::unreachable, "no server answered locate");
+}
+
+Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
+  sim::Simulator& sim = machine_.sim();
+  const sim::Time deadline = sim.now() + opts.timeout;
+  int failovers = 0;
+
+  while (true) {
+    // 1. Make sure we have a server candidate.
+    if (cache_[port].servers.empty()) {
+      sim::Time locate_deadline =
+          std::min(deadline, sim.now() + opts.locate_timeout);
+      Status st = locate(port, locate_deadline);
+      if (!st.is_ok()) return st;
+    }
+    MachineId server = cache_[port].servers.front();
+
+    // 2. Send the request.
+    std::uint64_t xid = next_xid_++;
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(MsgType::request));
+    w.u64(xid);
+    w.u64(reply_port_.v);
+    w.raw(request);
+    machine_.net().unicast(machine_.id(), server, port, w.take());
+
+    // 3. Wait for the reply (or NOTHERE / timeout).
+    while (true) {
+      auto pkt = endpoint_.mailbox().recv_until(deadline);
+      if (!pkt) {
+        // The server was located but never answered: it crashed or is
+        // partitioned away. Do not retry blindly (at-most-once semantics);
+        // report the failure and let the caller decide.
+        drop_server(port, server);
+        return Status::error(Errc::timeout, "rpc timeout");
+      }
+      try {
+        Reader r(pkt->payload);
+        auto type = static_cast<MsgType>(r.u8());
+        std::uint64_t rxid = r.u64();
+        if (type == MsgType::hereis) {
+          note_hereis(port, pkt->src);
+          continue;  // background locate answer
+        }
+        if (rxid != xid) continue;  // stale reply from an older transaction
+        if (type == MsgType::nothere) {
+          // Safe to fail over: the request was never queued server-side.
+          drop_server(port, server);
+          if (++failovers > opts.max_failovers) {
+            return Status::error(Errc::refused, "all servers busy");
+          }
+          break;  // outer loop: pick next candidate or re-locate
+        }
+        if (type == MsgType::reply) return r.rest();
+      } catch (const DecodeError&) {
+        // Ignore malformed strays.
+      }
+    }
+  }
+}
+
+}  // namespace amoeba::rpc

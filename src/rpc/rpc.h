@@ -1,0 +1,121 @@
+// Amoeba-style RPC over the simulated network.
+//
+// Client side (`RpcClient::trans`): locates servers by broadcasting a LOCATE
+// for the service port and caching every HEREIS answer; requests go to the
+// first server that replied ("sticky" choice). A server whose kernel has no
+// thread blocked in get_request() answers NOTHERE, upon which the client
+// drops it from the port cache and fails over. This is precisely the
+// heuristic the paper blames for the uneven load distribution in Fig. 8.
+//
+// Server side (`RpcServer`): service threads block in get_request() and
+// answer with put_reply(). LOCATE/NOTHERE handling happens at "kernel" level
+// (a non-blocking packet handler), so a busy server still answers locates.
+//
+// An Amoeba RPC costs 3 packets (request, reply, piggybacked ack); we send
+// request + reply and count the ack in the latency constants.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "net/cluster.h"
+#include "sim/mailbox.h"
+
+namespace amoeba::rpc {
+
+using net::Machine;
+using net::MachineId;
+using net::Packet;
+using net::Port;
+
+enum class MsgType : std::uint8_t {
+  locate = 1,  // client -> broadcast: who serves this port?
+  hereis,      // server -> client: I do
+  nothere,     // server kernel -> client: no thread listening here
+  request,     // client -> server
+  reply,       // server -> client
+};
+
+/// A request as seen by a service thread.
+struct IncomingRequest {
+  MachineId client;
+  Port reply_port;
+  std::uint64_t xid = 0;
+  Buffer data;
+};
+
+class RpcServer {
+ public:
+  /// Starts answering locates for `port` on `machine` immediately.
+  RpcServer(Machine& machine, Port port);
+
+  /// Block until a request arrives. Throws sim::ProcessKilled on crash.
+  IncomingRequest get_request();
+
+  /// Send the reply for a previously received request.
+  void put_reply(const IncomingRequest& req, Buffer reply);
+
+  [[nodiscard]] Machine& machine() const { return machine_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  void on_packet(Packet pkt);
+
+  Machine& machine_;
+  Port port_;
+  sim::Mailbox<IncomingRequest> pending_;
+  int idle_threads_ = 0;
+  std::uint64_t served_ = 0;
+  net::PortBinding binding_;  // last member: handler sees initialized state
+};
+
+struct TransOptions {
+  sim::Duration timeout = sim::msec(2000);        // overall deadline
+  sim::Duration locate_timeout = sim::msec(200);  // wait for first HEREIS
+  int max_failovers = 8;  // NOTHERE-triggered server switches per call
+};
+
+class RpcClient {
+ public:
+  explicit RpcClient(Machine& machine);
+
+  /// Perform a remote operation against whichever server serves `port`.
+  /// Error codes: unreachable (no server located), timeout (server located
+  /// but no reply), refused (all located servers said NOTHERE repeatedly).
+  Result<Buffer> trans(Port port, Buffer request, TransOptions opts = {});
+
+  /// Forget everything learned about `port` (tests / failover experiments).
+  void flush_port_cache(Port port);
+
+  /// Sticky server currently chosen for a port, if any.
+  [[nodiscard]] std::optional<MachineId> current_server(Port port) const;
+
+  [[nodiscard]] Machine& machine() const { return machine_; }
+
+ private:
+  struct CacheEntry {
+    std::deque<MachineId> servers;  // front = sticky choice
+  };
+
+  /// Broadcast LOCATE and wait for the first HEREIS; drains extras.
+  Status locate(Port port, sim::Time deadline);
+  void note_hereis(Port port, MachineId server);
+  void drop_server(Port port, MachineId server);
+
+  Machine& machine_;
+  Port reply_port_;
+  net::Endpoint endpoint_;
+  std::uint64_t next_xid_ = 1;
+  std::unordered_map<Port, CacheEntry> cache_;
+};
+
+/// Derives a client-unique reply port (top bit set to stay clear of
+/// service ports).
+Port make_reply_port(MachineId m, std::uint32_t salt);
+
+}  // namespace amoeba::rpc

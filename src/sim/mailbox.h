@@ -1,0 +1,62 @@
+// Unbounded FIFO channel between simulated processes. The network layer
+// delivers packets into mailboxes; servers block in recv().
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/waitq.h"
+
+namespace amoeba::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator& sim) : wq_(sim) {}
+
+  /// Non-blocking; may be called from scheduler context (network delivery).
+  void send(T item) {
+    q_.push_back(std::move(item));
+    wq_.notify_one();
+  }
+
+  /// Block until an item is available.
+  T recv() {
+    while (q_.empty()) wq_.wait();
+    return pop();
+  }
+
+  /// Block until an item is available or the deadline passes.
+  std::optional<T> recv_until(Time deadline) {
+    while (q_.empty()) {
+      if (wq_.simulator().now() >= deadline) return std::nullopt;
+      if (!wq_.wait_until(deadline) && q_.empty()) return std::nullopt;
+    }
+    return pop();
+  }
+  std::optional<T> recv_for(Duration d) {
+    return recv_until(wq_.simulator().now() + d);
+  }
+
+  std::optional<T> try_recv() {
+    if (q_.empty()) return std::nullopt;
+    return pop();
+  }
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  void clear() { q_.clear(); }
+
+ private:
+  T pop() {
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  std::deque<T> q_;
+  WaitQueue wq_;
+};
+
+}  // namespace amoeba::sim

@@ -1,0 +1,51 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+
+namespace amoeba::sim {
+
+void FifoResource::grant_next() {
+  if (busy_ || waiters_.empty()) return;
+  if (!waiters_.front()->granted) {
+    waiters_.front()->granted = true;
+    // All waiters share one WaitQueue; wake everyone and let each re-check
+    // its own ticket. Queues here are short (a handful of server threads).
+    wq_.notify_all();
+  }
+}
+
+void FifoResource::use(Duration d) {
+  if (busy_ || !waiters_.empty()) {
+    Ticket ticket{next_ticket_++};
+    waiters_.push_back(&ticket);
+    bool acquired = false;
+    // Local class: has access to FifoResource privates. Removes the ticket
+    // on every exit path; if we were already granted the slot but are being
+    // killed, pass the slot to the next waiter.
+    struct Guard {
+      FifoResource* r;
+      Ticket* t;
+      bool* acquired;
+      ~Guard() {
+        auto it = std::find(r->waiters_.begin(), r->waiters_.end(), t);
+        if (it != r->waiters_.end()) r->waiters_.erase(it);
+        if (t->granted && !*acquired) r->grant_next();
+      }
+    } guard{this, &ticket, &acquired};
+    while (!ticket.granted) wq_.wait();
+    acquired = true;
+  }
+  busy_ = true;
+  struct Release {
+    FifoResource* r;
+    ~Release() {
+      r->busy_ = false;
+      r->grant_next();
+    }
+  } release{this};
+  ops_++;
+  busy_time_ += d;
+  sim_.sleep_for(d);
+}
+
+}  // namespace amoeba::sim

@@ -1,0 +1,22 @@
+// Simulated time. The whole system runs on a virtual clock measured in
+// microseconds; nothing ever reads the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace amoeba::sim {
+
+using Time = std::int64_t;      // microseconds since simulation start
+using Duration = std::int64_t;  // microseconds
+
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+constexpr Duration usec(std::int64_t n) { return n; }
+constexpr Duration msec(std::int64_t n) { return n * 1000; }
+constexpr Duration sec(std::int64_t n) { return n * 1000 * 1000; }
+
+/// Pretty milliseconds for reports: 184.25 and friends.
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+}  // namespace amoeba::sim

@@ -1,0 +1,51 @@
+#include "sim/waitq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amoeba::sim {
+
+bool WaitQueue::block(Time deadline) {
+  Process* p = Simulator::current();
+  assert(p != nullptr && "WaitQueue::wait must be called from a process");
+  Node node{p};
+  nodes_.push_back(&node);
+  // Local class: removes the node on every exit path, including the
+  // ProcessKilled unwind.
+  struct Deregister {
+    std::deque<Node*>* nodes;
+    Node* node;
+    ~Deregister() {
+      auto it = std::find(nodes->begin(), nodes->end(), node);
+      if (it != nodes->end()) nodes->erase(it);
+    }
+  } guard{&nodes_, &node};
+  if (deadline != kTimeMax) sim_.schedule_wake(p, deadline);
+  p->yield();
+  return node.notified;
+}
+
+void WaitQueue::wait() { block(kTimeMax); }
+
+bool WaitQueue::wait_until(Time deadline) { return block(deadline); }
+
+void WaitQueue::notify_one() {
+  for (Node* n : nodes_) {
+    if (!n->notified) {
+      n->notified = true;
+      sim_.schedule_wake(n->p, sim_.now());
+      return;
+    }
+  }
+}
+
+void WaitQueue::notify_all() {
+  for (Node* n : nodes_) {
+    if (!n->notified) {
+      n->notified = true;
+      sim_.schedule_wake(n->p, sim_.now());
+    }
+  }
+}
+
+}  // namespace amoeba::sim

@@ -1,0 +1,48 @@
+// Condition-variable analogue for simulated processes.
+//
+// Unlike a real condvar there are no spurious wakeups: wait() returns only
+// after a notify (or throws ProcessKilled), and wait_until() additionally
+// returns false on deadline expiry. Users still loop on their predicate
+// because another process may consume the state between notify and resume.
+#pragma once
+
+#include <deque>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace amoeba::sim {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator& sim) : sim_(sim) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Block until notified. Throws ProcessKilled on kill.
+  void wait();
+
+  /// Block until notified or `deadline`. Returns true if notified.
+  bool wait_until(Time deadline);
+  bool wait_for(Duration d) { return wait_until(sim_.now() + d); }
+
+  /// Wake the oldest un-notified waiter / all waiters.
+  void notify_one();
+  void notify_all();
+
+  [[nodiscard]] std::size_t waiter_count() const { return nodes_.size(); }
+  [[nodiscard]] Simulator& simulator() const { return sim_; }
+
+ private:
+  struct Node {
+    Process* p;
+    bool notified = false;
+  };
+
+  bool block(Time deadline);  // shared impl; kFar deadline == none
+
+  Simulator& sim_;
+  std::deque<Node*> nodes_;  // stack-allocated nodes of blocked processes
+};
+
+}  // namespace amoeba::sim

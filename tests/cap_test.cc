@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "cap/capability.h"
+#include "common/rand.h"
+
+namespace amoeba::cap {
+namespace {
+
+std::uint64_t secret_for(std::uint64_t seed) {
+  Prng p(seed);
+  return p.next() & CheckScheme::kCheckMask;
+}
+
+TEST(CapabilityTest, EncodeDecodeRoundTrip) {
+  Capability c;
+  c.port = net::Port{0xdeadULL};
+  c.object = 1234;
+  c.rights = kRightRead | kRightWrite;
+  c.check = 0x1234567890ULL;
+  Writer w;
+  c.encode(w);
+  Buffer b = w.take();
+  Reader r(b);
+  Capability d = Capability::decode(r);
+  EXPECT_EQ(c, d);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CapabilityTest, NullCapDetected) {
+  EXPECT_TRUE(kNullCap.is_null());
+  Capability c;
+  c.object = 1;
+  EXPECT_FALSE(c.is_null());
+}
+
+TEST(CheckSchemeTest, AllRightsCapVerifies) {
+  auto secret = secret_for(1);
+  Capability c;
+  c.rights = kRightsAll;
+  c.check = CheckScheme::make_check(secret, kRightsAll);
+  EXPECT_TRUE(CheckScheme::verify(c, secret));
+}
+
+TEST(CheckSchemeTest, RestrictedCapVerifies) {
+  auto secret = secret_for(2);
+  Capability full;
+  full.rights = kRightsAll;
+  full.check = CheckScheme::make_check(secret, kRightsAll);
+  Capability ro = CheckScheme::restrict(full, kRightRead, secret);
+  EXPECT_EQ(ro.rights, kRightRead);
+  EXPECT_TRUE(CheckScheme::verify(ro, secret));
+}
+
+TEST(CheckSchemeTest, RightsAmplificationDetected) {
+  auto secret = secret_for(3);
+  Capability ro;
+  ro.rights = kRightRead;
+  ro.check = CheckScheme::make_check(secret, kRightRead);
+  // Attacker flips rights bits without knowing the secret.
+  Capability forged = ro;
+  forged.rights = kRightsAll;
+  EXPECT_FALSE(CheckScheme::verify(forged, secret));
+  forged.rights = kRightRead | kRightWrite;
+  EXPECT_FALSE(CheckScheme::verify(forged, secret));
+}
+
+TEST(CheckSchemeTest, TamperedCheckDetected) {
+  auto secret = secret_for(4);
+  Capability c;
+  c.rights = kRightRead;
+  c.check = CheckScheme::make_check(secret, kRightRead) ^ 1;
+  EXPECT_FALSE(CheckScheme::verify(c, secret));
+}
+
+TEST(CheckSchemeTest, WrongSecretFails) {
+  Capability c;
+  c.rights = kRightsAll;
+  c.check = CheckScheme::make_check(secret_for(5), kRightsAll);
+  EXPECT_FALSE(CheckScheme::verify(c, secret_for(6)));
+}
+
+TEST(CheckSchemeTest, CheckFits48Bits) {
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    auto check = CheckScheme::make_check(secret_for(s), kRightRead);
+    EXPECT_EQ(check & ~CheckScheme::kCheckMask, 0u);
+  }
+}
+
+class RestrictChain : public ::testing::TestWithParam<Rights> {};
+
+TEST_P(RestrictChain, RestrictIsMonotoneAndVerifiable) {
+  auto secret = secret_for(42);
+  Capability full;
+  full.rights = kRightsAll;
+  full.check = CheckScheme::make_check(secret, kRightsAll);
+  Capability weak = CheckScheme::restrict(full, GetParam(), secret);
+  EXPECT_EQ(weak.rights, GetParam() & kRightsAll);
+  EXPECT_TRUE(CheckScheme::verify(weak, secret));
+  // Restricting further can never add rights.
+  Capability weaker = CheckScheme::restrict(weak, kRightRead, secret);
+  EXPECT_EQ(weaker.rights & ~weak.rights, 0);
+  EXPECT_TRUE(CheckScheme::verify(weaker, secret));
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, RestrictChain,
+                         ::testing::Values(0x00, 0x01, 0x03, 0x07, 0x0f, 0x10,
+                                           0x7f, 0xff));
+
+}  // namespace
+}  // namespace amoeba::cap

@@ -1,0 +1,116 @@
+// Tests for the hierarchical path utilities layered on the flat directory
+// service (client-side, implementation-agnostic).
+#include <gtest/gtest.h>
+
+#include "dir/path.h"
+#include "harness/testbed.h"
+
+namespace amoeba::dir {
+namespace {
+
+using harness::Flavor;
+using harness::Testbed;
+
+TEST(SplitPath, Variants) {
+  EXPECT_EQ(split_path("a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_path("/a//b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_path(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_path("///"), (std::vector<std::string>{}));
+  EXPECT_EQ(split_path("single"), (std::vector<std::string>{"single"}));
+}
+
+struct PathFixture : ::testing::Test {
+  Testbed bed{{.flavor = Flavor::group, .clients = 1, .seed = 51}};
+
+  void run(const std::function<void(DirClient&, PathOps&)>& body) {
+    ASSERT_TRUE(bed.wait_ready());
+    bool done = false;
+    net::Machine& cm = bed.client(0);
+    cm.spawn("path-test", [&] {
+      rpc::RpcClient rpc(cm);
+      DirClient dc(rpc, bed.dir_port());
+      Result<cap::Capability> root{Status::ok()};
+      for (int i = 0; i < 50; ++i) {
+        root = dc.create_dir({"owner"});
+        if (root.is_ok()) break;
+        bed.sim().sleep_for(sim::msec(100));
+      }
+      ASSERT_TRUE(root.is_ok());
+      PathOps ops(dc, *root);
+      body(dc, ops);
+      done = true;
+    });
+    const sim::Time deadline = bed.sim().now() + sim::sec(120);
+    while (!done && bed.sim().now() < deadline) {
+      bed.sim().run_for(sim::msec(100));
+    }
+    ASSERT_TRUE(done);
+  }
+};
+
+TEST_F(PathFixture, MakeDirsAndResolve) {
+  run([&](DirClient&, PathOps& ops) {
+    auto leaf = ops.make_dirs("usr/local/bin");
+    ASSERT_TRUE(leaf.is_ok()) << leaf.status().to_string();
+    auto resolved = ops.resolve("usr/local/bin");
+    ASSERT_TRUE(resolved.is_ok());
+    EXPECT_EQ(resolved->object, leaf->object);
+    // Intermediate directories exist too.
+    EXPECT_TRUE(ops.resolve("usr").is_ok());
+    EXPECT_TRUE(ops.resolve("usr/local").is_ok());
+  });
+}
+
+TEST_F(PathFixture, PutAndResolveLeafCapability) {
+  run([&](DirClient&, PathOps& ops) {
+    cap::Capability file;
+    file.port = net::Port{0xf00d};
+    file.object = 7;
+    file.rights = cap::kRightsAll;
+    ASSERT_TRUE(ops.put("home/ast/paper.txt", file).is_ok());
+    auto got = ops.resolve("home/ast/paper.txt");
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    EXPECT_EQ(got->object, 7u);
+    EXPECT_EQ(got->port, file.port);
+  });
+}
+
+TEST_F(PathFixture, MakeDirsIsIdempotent) {
+  run([&](DirClient&, PathOps& ops) {
+    auto first = ops.make_dirs("a/b");
+    auto second = ops.make_dirs("a/b");
+    ASSERT_TRUE(first.is_ok());
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_EQ(first->object, second->object);
+  });
+}
+
+TEST_F(PathFixture, RemoveLeafKeepsParents) {
+  run([&](DirClient&, PathOps& ops) {
+    cap::Capability v;
+    v.object = 1;
+    ASSERT_TRUE(ops.put("etc/conf", v).is_ok());
+    ASSERT_TRUE(ops.remove("etc/conf").is_ok());
+    EXPECT_EQ(ops.resolve("etc/conf").code(), Errc::not_found);
+    EXPECT_TRUE(ops.resolve("etc").is_ok());
+  });
+}
+
+TEST_F(PathFixture, ResolveMissingPathFails) {
+  run([&](DirClient&, PathOps& ops) {
+    EXPECT_EQ(ops.resolve("no/such/path").code(), Errc::not_found);
+    EXPECT_EQ(ops.remove("no/such/path").code(), Errc::not_found);
+  });
+}
+
+TEST_F(PathFixture, EmptyPathResolvesToRoot) {
+  run([&](DirClient& dc, PathOps& ops) {
+    auto root = ops.resolve("");
+    ASSERT_TRUE(root.is_ok());
+    EXPECT_TRUE(dc.list_dir(*root).is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace amoeba::dir

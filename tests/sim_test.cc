@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/mailbox.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/waitq.h"
+
+namespace amoeba::sim {
+namespace {
+
+TEST(SimulatorTest, TimeAdvancesWithSleep) {
+  Simulator s;
+  Time woke = -1;
+  s.spawn("p", [&] {
+    s.sleep_for(msec(5));
+    woke = s.now();
+  });
+  s.run();
+  EXPECT_EQ(woke, msec(5));
+}
+
+TEST(SimulatorTest, ProcessesInterleaveDeterministically) {
+  Simulator s;
+  std::vector<std::string> trace;
+  s.spawn("a", [&] {
+    trace.push_back("a0");
+    s.sleep_for(10);
+    trace.push_back("a1");
+    s.sleep_for(20);
+    trace.push_back("a2");
+  });
+  s.spawn("b", [&] {
+    trace.push_back("b0");
+    s.sleep_for(15);
+    trace.push_back("b1");
+  });
+  s.run();
+  std::vector<std::string> expect{"a0", "b0", "a1", "b1", "a2"};
+  EXPECT_EQ(trace, expect);
+}
+
+TEST(SimulatorTest, EqualTimeEventsRunInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.post(msec(1), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.post(msec(10), [&] { fired++; });
+  s.post(msec(20), [&] { fired++; });
+  s.run_until(msec(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), msec(10));
+  s.run_until(msec(30));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, SpawnFromProcess) {
+  Simulator s;
+  Time child_time = -1;
+  s.spawn("parent", [&] {
+    s.sleep_for(5);
+    s.spawn("child", [&] {
+      s.sleep_for(3);
+      child_time = s.now();
+    });
+    s.sleep_for(100);
+  });
+  s.run();
+  EXPECT_EQ(child_time, 8);
+}
+
+TEST(SimulatorTest, DeterminismAcrossRuns) {
+  auto run_once = [] {
+    Simulator s(42);
+    std::vector<std::int64_t> trace;
+    for (int p = 0; p < 4; ++p) {
+      s.spawn("p" + std::to_string(p), [&s, &trace] {
+        for (int i = 0; i < 10; ++i) {
+          s.sleep_for(static_cast<Duration>(s.rng().below(100)));
+          trace.push_back(s.now());
+        }
+      });
+    }
+    s.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimulatorTest, KillUnwindsRaii) {
+  Simulator s;
+  bool cleaned = false;
+  bool resumed = false;
+  Process* victim = s.spawn("victim", [&] {
+    struct Guard {
+      bool* flag;
+      ~Guard() { *flag = true; }
+    } g{&cleaned};
+    s.sleep_for(msec(100));
+    resumed = true;
+  });
+  s.spawn("killer", [&] {
+    s.sleep_for(msec(1));
+    s.kill(victim);
+  });
+  s.run();
+  EXPECT_TRUE(cleaned);
+  EXPECT_FALSE(resumed);
+  EXPECT_TRUE(victim->finished());
+}
+
+TEST(SimulatorTest, KillBeforeFirstRunSkipsBody) {
+  Simulator s;
+  bool ran = false;
+  Process* p = s.spawn("p", [&] { ran = true; });
+  s.kill(p);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(p->finished());
+}
+
+TEST(SimulatorTest, UncaughtExceptionRecorded) {
+  Simulator s;
+  s.spawn("bad", [] { throw std::runtime_error("boom"); });
+  s.run();
+  ASSERT_EQ(s.process_errors().size(), 1u);
+  EXPECT_NE(s.process_errors()[0].find("boom"), std::string::npos);
+}
+
+TEST(SimulatorTest, DestructorKillsBlockedProcesses) {
+  bool cleaned = false;
+  {
+    Simulator s;
+    s.spawn("stuck", [&] {
+      struct Guard {
+        bool* flag;
+        ~Guard() { *flag = true; }
+      } g{&cleaned};
+      s.sleep_for(sec(3600));
+    });
+    s.run_until(msec(1));
+  }
+  EXPECT_TRUE(cleaned);
+}
+
+TEST(WaitQueueTest, NotifyOneWakesExactlyOne) {
+  Simulator s;
+  WaitQueue wq(s);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    s.spawn("w" + std::to_string(i), [&] {
+      wq.wait();
+      woke++;
+    });
+  }
+  s.spawn("notifier", [&] {
+    s.sleep_for(10);
+    wq.notify_one();
+  });
+  s.run_until(msec(1));
+  EXPECT_EQ(woke, 1);
+}
+
+TEST(WaitQueueTest, NotifyAllWakesEveryone) {
+  Simulator s;
+  WaitQueue wq(s);
+  int woke = 0;
+  for (int i = 0; i < 4; ++i) {
+    s.spawn("w" + std::to_string(i), [&] {
+      wq.wait();
+      woke++;
+    });
+  }
+  s.spawn("notifier", [&] {
+    s.sleep_for(10);
+    wq.notify_all();
+  });
+  s.run_until(msec(1));
+  EXPECT_EQ(woke, 4);
+}
+
+TEST(WaitQueueTest, WaitUntilTimesOut) {
+  Simulator s;
+  WaitQueue wq(s);
+  bool notified = true;
+  Time end = -1;
+  s.spawn("w", [&] {
+    notified = wq.wait_until(msec(50));
+    end = s.now();
+  });
+  s.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(end, msec(50));
+}
+
+TEST(WaitQueueTest, NotifyBeatsTimeout) {
+  Simulator s;
+  WaitQueue wq(s);
+  bool notified = false;
+  Time end = -1;
+  s.spawn("w", [&] {
+    notified = wq.wait_until(msec(50));
+    end = s.now();
+  });
+  s.spawn("n", [&] {
+    s.sleep_for(msec(10));
+    wq.notify_one();
+  });
+  s.run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(end, msec(10));
+}
+
+TEST(WaitQueueTest, KilledWaiterRemovedFromQueue) {
+  Simulator s;
+  WaitQueue wq(s);
+  Process* victim = s.spawn("victim", [&] { wq.wait(); });
+  s.spawn("killer", [&] {
+    s.sleep_for(5);
+    s.kill(victim);
+    s.sleep_for(5);
+    EXPECT_EQ(wq.waiter_count(), 0u);
+  });
+  s.run_until(msec(1));
+  EXPECT_TRUE(victim->finished());
+}
+
+TEST(WaitQueueTest, NotifyThenKillSameInstant) {
+  // A notify and a kill land at the same timestamp; the kill must win
+  // (process unwinds) and no crash may occur.
+  Simulator s;
+  WaitQueue wq(s);
+  bool returned = false;
+  Process* victim = s.spawn("victim", [&] {
+    wq.wait();
+    returned = true;
+  });
+  s.spawn("driver", [&] {
+    s.sleep_for(5);
+    wq.notify_one();
+    s.kill(victim);
+  });
+  s.run_until(msec(1));
+  EXPECT_TRUE(victim->finished());
+  EXPECT_FALSE(returned);
+}
+
+TEST(MailboxTest, FifoOrder) {
+  Simulator s;
+  Mailbox<int> mb(s);
+  std::vector<int> got;
+  s.spawn("recv", [&] {
+    for (int i = 0; i < 3; ++i) got.push_back(mb.recv());
+  });
+  s.spawn("send", [&] {
+    mb.send(1);
+    mb.send(2);
+    s.sleep_for(10);
+    mb.send(3);
+  });
+  s.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MailboxTest, RecvBlocksUntilSend) {
+  Simulator s;
+  Mailbox<int> mb(s);
+  Time got_at = -1;
+  s.spawn("recv", [&] {
+    mb.recv();
+    got_at = s.now();
+  });
+  s.spawn("send", [&] {
+    s.sleep_for(msec(7));
+    mb.send(1);
+  });
+  s.run();
+  EXPECT_EQ(got_at, msec(7));
+}
+
+TEST(MailboxTest, RecvUntilTimesOut) {
+  Simulator s;
+  Mailbox<int> mb(s);
+  bool got = true;
+  s.spawn("recv", [&] { got = mb.recv_for(msec(20)).has_value(); });
+  s.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(s.now(), msec(20));
+}
+
+TEST(MailboxTest, SendFromSchedulerContext) {
+  Simulator s;
+  Mailbox<int> mb(s);
+  int got = 0;
+  s.spawn("recv", [&] { got = mb.recv(); });
+  s.post(msec(3), [&] { mb.send(99); });
+  s.run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(MailboxTest, TryRecvNonBlocking) {
+  Simulator s;
+  Mailbox<int> mb(s);
+  std::optional<int> a, b;
+  s.spawn("p", [&] {
+    a = mb.try_recv();
+    mb.send(5);
+    b = mb.try_recv();
+  });
+  s.run();
+  EXPECT_FALSE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 5);
+}
+
+TEST(MailboxTest, TwoReceiversEachGetOne) {
+  Simulator s;
+  Mailbox<int> mb(s);
+  int sum = 0;
+  for (int i = 0; i < 2; ++i) {
+    s.spawn("r" + std::to_string(i), [&] { sum += mb.recv(); });
+  }
+  s.spawn("send", [&] {
+    s.sleep_for(1);
+    mb.send(10);
+    mb.send(20);
+  });
+  s.run();
+  EXPECT_EQ(sum, 30);
+}
+
+TEST(FifoResourceTest, SerializesUsers) {
+  Simulator s;
+  FifoResource disk(s, "disk");
+  std::vector<Time> done;
+  for (int i = 0; i < 3; ++i) {
+    s.spawn("u" + std::to_string(i), [&] {
+      disk.use(msec(10));
+      done.push_back(s.now());
+    });
+  }
+  s.run();
+  EXPECT_EQ(done, (std::vector<Time>{msec(10), msec(20), msec(30)}));
+  EXPECT_EQ(disk.ops(), 3u);
+  EXPECT_EQ(disk.busy_time(), msec(30));
+}
+
+TEST(FifoResourceTest, FifoOrderPreserved) {
+  Simulator s;
+  FifoResource r(s, "r");
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    s.spawn("u" + std::to_string(i), [&, i] {
+      s.sleep_for(i);  // arrival order 0,1,2,3
+      r.use(msec(5));
+      order.push_back(i);
+    });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(FifoResourceTest, KilledWaiterDoesNotStallQueue) {
+  Simulator s;
+  FifoResource r(s, "r");
+  bool third_done = false;
+  s.spawn("holder", [&] { r.use(msec(10)); });
+  Process* victim = s.spawn("victim", [&] {
+    s.sleep_for(1);
+    r.use(msec(10));
+  });
+  s.spawn("third", [&] {
+    s.sleep_for(2);
+    r.use(msec(10));
+    third_done = true;
+  });
+  s.spawn("killer", [&] {
+    s.sleep_for(5);
+    s.kill(victim);
+  });
+  s.run();
+  EXPECT_TRUE(third_done);
+  EXPECT_EQ(s.now(), msec(20));  // holder then third; victim never held it
+}
+
+TEST(FifoResourceTest, KilledHolderReleases) {
+  Simulator s;
+  FifoResource r(s, "r");
+  Time second_done_at = -1;
+  Process* victim = s.spawn("holder", [&] { r.use(msec(100)); });
+  s.spawn("second", [&] {
+    s.sleep_for(1);
+    r.use(msec(10));
+    second_done_at = s.now();
+  });
+  s.spawn("killer", [&] {
+    s.sleep_for(msec(5));
+    s.kill(victim);
+  });
+  s.run();
+  // Holder dies at 5ms, releasing the resource; second then holds 10ms.
+  EXPECT_EQ(second_done_at, msec(15));
+}
+
+TEST(FifoResourceTest, ContentionProducesQueueingDelay) {
+  // Two users of a 3ms CPU arriving together: second finishes at 6ms. This
+  // is the mechanism behind the paper's 333 lookups/sec/server bound.
+  Simulator s;
+  FifoResource cpu(s, "cpu");
+  std::vector<Time> done;
+  for (int i = 0; i < 2; ++i) {
+    s.spawn("u" + std::to_string(i), [&] {
+      cpu.use(msec(3));
+      done.push_back(s.now());
+    });
+  }
+  s.run();
+  EXPECT_EQ(done, (std::vector<Time>{msec(3), msec(6)}));
+}
+
+}  // namespace
+}  // namespace amoeba::sim

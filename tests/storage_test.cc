@@ -1,0 +1,363 @@
+// Tests for the storage substrates: virtual disk, disk server, bullet file
+// server, and NVRAM.
+#include <gtest/gtest.h>
+
+#include "bullet/bullet.h"
+#include "disk/disk_server.h"
+#include "disk/vdisk.h"
+#include "nvram/nvram.h"
+
+namespace amoeba {
+namespace {
+
+using disk::VirtualDisk;
+using net::Cluster;
+using net::Machine;
+using net::Port;
+
+constexpr Port kBulletPort{200};
+constexpr Port kDiskPort{201};
+
+struct StorageFixture : ::testing::Test {
+  sim::Simulator sim{21};
+  Cluster cluster{sim};
+};
+
+TEST_F(StorageFixture, DiskWriteReadRoundTrip) {
+  Machine& m = cluster.add_machine("m");
+  Result<Buffer> got{Status::error(Errc::internal, "unset")};
+  m.spawn("p", [&] {
+    auto& d = m.persistent<VirtualDisk>("d", [&] {
+      return std::make_unique<VirtualDisk>(sim, "d");
+    });
+    ASSERT_TRUE(d.write_block(3, to_buffer("block3")).is_ok());
+    got = d.read_block(3);
+  });
+  sim.run_until(sim::sec(1));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(to_string(*got), "block3");
+}
+
+TEST_F(StorageFixture, DiskOpsTakeConfiguredTime) {
+  Machine& m = cluster.add_machine("m");
+  sim::Time w = 0, r = 0;
+  m.spawn("p", [&] {
+    auto& d = m.persistent<VirtualDisk>("d", [&] {
+      return std::make_unique<VirtualDisk>(sim, "d");
+    });
+    sim::Time t0 = sim.now();
+    (void)d.write_block(0, to_buffer("x"));
+    w = sim.now() - t0;
+    t0 = sim.now();
+    (void)d.read_block(0);
+    r = sim.now() - t0;
+  });
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(w, sim::msec(40));
+  EXPECT_EQ(r, sim::msec(25));
+}
+
+TEST_F(StorageFixture, DiskContentsSurviveCrash) {
+  Machine& m = cluster.add_machine("m");
+  auto make = [&] { return std::make_unique<VirtualDisk>(sim, "d"); };
+  m.spawn("p", [&] {
+    (void)m.persistent<VirtualDisk>("d", make).write_block(1, to_buffer("v"));
+  });
+  sim.run_until(sim::msec(100));
+  cluster.crash(m.id());
+  cluster.restart(m.id());
+  Result<Buffer> got{Status::error(Errc::internal, "unset")};
+  m.spawn("p2", [&] { got = m.persistent<VirtualDisk>("d", make).read_block(1); });
+  sim.run_until(sim::msec(300));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(to_string(*got), "v");
+}
+
+TEST_F(StorageFixture, CrashMidWriteLeavesOldContents) {
+  Machine& m = cluster.add_machine("m");
+  auto make = [&] { return std::make_unique<VirtualDisk>(sim, "d"); };
+  m.spawn("p", [&] {
+    auto& d = m.persistent<VirtualDisk>("d", make);
+    (void)d.write_block(0, to_buffer("old"));
+    (void)d.write_block(0, to_buffer("new"));  // killed mid-op
+  });
+  sim.spawn("chaos", [&] {
+    sim.sleep_for(sim::msec(60));  // during the second write (40..80ms)
+    cluster.crash(m.id());
+  });
+  sim.run_until(sim::msec(200));
+  cluster.restart(m.id());
+  Result<Buffer> got{Status::error(Errc::internal, "unset")};
+  m.spawn("p2", [&] { got = m.persistent<VirtualDisk>("d", make).read_block(0); });
+  sim.run_until(sim::msec(400));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(to_string(*got), "old");
+}
+
+TEST_F(StorageFixture, FailedDiskReturnsIoError) {
+  Machine& m = cluster.add_machine("m");
+  Status st = Status::ok();
+  m.spawn("p", [&] {
+    auto& d = m.persistent<VirtualDisk>("d", [&] {
+      return std::make_unique<VirtualDisk>(sim, "d");
+    });
+    d.fail_permanently();
+    st = d.write_block(0, to_buffer("x"));
+  });
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(st.code(), Errc::io_error);
+}
+
+TEST_F(StorageFixture, DiskServerRemoteReadWrite) {
+  Machine& storage = cluster.add_machine("storage");
+  Machine& client = cluster.add_machine("client");
+  storage.install_service("disk", [&](Machine& mm) {
+    auto& d = mm.persistent<VirtualDisk>("d", [&mm] {
+      return std::make_unique<VirtualDisk>(mm.sim(), "d");
+    });
+    disk::DiskServer server(mm, kDiskPort, d, 64);
+    mm.sim().sleep_for(sim::kTimeMax / 2);
+  });
+  Result<Buffer> got{Status::error(Errc::internal, "unset")};
+  Status wst = Status::ok();
+  client.spawn("c", [&] {
+    rpc::RpcClient rpc(client);
+    disk::DiskClient dc(rpc, kDiskPort);
+    wst = dc.write_block(5, to_buffer("remote"));
+    got = dc.read_block(5);
+  });
+  sim.run_until(sim::sec(2));
+  ASSERT_TRUE(wst.is_ok()) << wst.to_string();
+  ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+  EXPECT_EQ(to_string(*got), "remote");
+}
+
+TEST_F(StorageFixture, DiskServerRejectsOutOfPartition) {
+  Machine& storage = cluster.add_machine("storage");
+  Machine& client = cluster.add_machine("client");
+  storage.install_service("disk", [&](Machine& mm) {
+    auto& d = mm.persistent<VirtualDisk>("d", [&mm] {
+      return std::make_unique<VirtualDisk>(mm.sim(), "d");
+    });
+    disk::DiskServer server(mm, kDiskPort, d, 8);  // blocks 0..7 only
+    mm.sim().sleep_for(sim::kTimeMax / 2);
+  });
+  Status st = Status::ok();
+  client.spawn("c", [&] {
+    rpc::RpcClient rpc(client);
+    disk::DiskClient dc(rpc, kDiskPort);
+    st = dc.write_block(9, to_buffer("x"));
+  });
+  sim.run_until(sim::sec(2));
+  EXPECT_EQ(st.code(), Errc::io_error);
+}
+
+// ------------------------------------------------------------------ Bullet
+
+void start_bullet(Machine& m, Port port = kBulletPort) {
+  m.install_service("bullet", [port](Machine& mm) {
+    auto& d = mm.persistent<VirtualDisk>("disk", [&mm] {
+      return std::make_unique<VirtualDisk>(mm.sim(), "disk");
+    });
+    bullet::BulletServer server(mm, port, d);
+    mm.sim().sleep_for(sim::kTimeMax / 2);
+  });
+}
+
+TEST_F(StorageFixture, BulletCreateReadDelete) {
+  Machine& s = cluster.add_machine("bullet");
+  Machine& c = cluster.add_machine("client");
+  start_bullet(s);
+  Status final_read = Status::ok();
+  std::string content;
+  c.spawn("c", [&] {
+    rpc::RpcClient rpc(c);
+    bullet::BulletClient bc(rpc, kBulletPort);
+    auto cap = bc.create(to_buffer("file contents"));
+    ASSERT_TRUE(cap.is_ok()) << cap.status().to_string();
+    auto data = bc.read(*cap);
+    ASSERT_TRUE(data.is_ok());
+    content = to_string(*data);
+    ASSERT_TRUE(bc.del(*cap).is_ok());
+    final_read = bc.read(*cap).status();
+  });
+  sim.run_until(sim::sec(2));
+  EXPECT_EQ(content, "file contents");
+  EXPECT_EQ(final_read.code(), Errc::not_found);
+}
+
+TEST_F(StorageFixture, BulletRejectsForgedCapability) {
+  Machine& s = cluster.add_machine("bullet");
+  Machine& c = cluster.add_machine("client");
+  start_bullet(s);
+  Status read_st = Status::ok(), del_st = Status::ok();
+  c.spawn("c", [&] {
+    rpc::RpcClient rpc(c);
+    bullet::BulletClient bc(rpc, kBulletPort);
+    auto cap = bc.create(to_buffer("secret"));
+    ASSERT_TRUE(cap.is_ok());
+    cap::Capability forged = *cap;
+    forged.check ^= 0x1;
+    read_st = bc.read(forged).status();
+    del_st = bc.del(forged);
+  });
+  sim.run_until(sim::sec(2));
+  EXPECT_EQ(read_st.code(), Errc::bad_capability);
+  EXPECT_EQ(del_st.code(), Errc::bad_capability);
+}
+
+TEST_F(StorageFixture, BulletFilesSurviveCrash) {
+  Machine& s = cluster.add_machine("bullet");
+  Machine& c = cluster.add_machine("client");
+  start_bullet(s);
+  Result<cap::Capability> cap{Status::error(Errc::internal, "unset")};
+  c.spawn("w", [&] {
+    rpc::RpcClient rpc(c);
+    bullet::BulletClient bc(rpc, kBulletPort);
+    cap = bc.create(to_buffer("durable"));
+  });
+  sim.run_until(sim::sec(1));
+  ASSERT_TRUE(cap.is_ok());
+  cluster.crash(s.id());
+  cluster.restart(s.id());
+  Result<Buffer> got{Status::error(Errc::internal, "unset")};
+  c.spawn("r", [&] {
+    rpc::RpcClient rpc(c);
+    bullet::BulletClient bc(rpc, kBulletPort);
+    got = bc.read(*cap);
+  });
+  sim.run_until(sim::sec(3));
+  ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+  EXPECT_EQ(to_string(*got), "durable");
+}
+
+TEST_F(StorageFixture, BulletCreateCostsOneDiskWritePerBlock) {
+  Machine& s = cluster.add_machine("bullet");
+  Machine& c = cluster.add_machine("client");
+  start_bullet(s);
+  std::uint64_t writes_small = 0, writes_big = 0;
+  c.spawn("c", [&] {
+    rpc::RpcClient rpc(c);
+    bullet::BulletClient bc(rpc, kBulletPort);
+    auto& d = s.persistent<VirtualDisk>("disk", [&] {
+      return std::make_unique<VirtualDisk>(sim, "disk");
+    });
+    d.reset_stats();
+    (void)bc.create(to_buffer("small"));
+    writes_small = d.writes();
+    d.reset_stats();
+    (void)bc.create(Buffer(3000, 1));  // 3 blocks
+    writes_big = d.writes();
+  });
+  sim.run_until(sim::sec(2));
+  EXPECT_EQ(writes_small, 1u);
+  EXPECT_EQ(writes_big, 3u);
+}
+
+// ------------------------------------------------------------------- NVRAM
+
+TEST_F(StorageFixture, NvramAppendAndReplay) {
+  Machine& m = cluster.add_machine("m");
+  std::vector<std::string> replayed;
+  m.spawn("p", [&] {
+    auto& nv = m.persistent<nvram::Nvram>(
+        "nv", [&] { return std::make_unique<nvram::Nvram>(sim); });
+    (void)nv.append(1, to_buffer("rec1"));
+    (void)nv.append(2, to_buffer("rec2"));
+    for (const auto& rec : nv.records()) {
+      replayed.push_back(to_string(rec.data));
+    }
+  });
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(replayed, (std::vector<std::string>{"rec1", "rec2"}));
+}
+
+TEST_F(StorageFixture, NvramSurvivesCrash) {
+  Machine& m = cluster.add_machine("m");
+  auto make = [&] { return std::make_unique<nvram::Nvram>(sim); };
+  m.spawn("p", [&] {
+    (void)m.persistent<nvram::Nvram>("nv", make).append(7, to_buffer("keep"));
+  });
+  sim.run_until(sim::msec(10));
+  cluster.crash(m.id());
+  cluster.restart(m.id());
+  std::size_t count = 0;
+  std::string data;
+  m.spawn("p2", [&] {
+    auto& nv = m.persistent<nvram::Nvram>("nv", make);
+    count = nv.record_count();
+    if (count > 0) data = to_string(nv.records().front().data);
+  });
+  sim.run_until(sim::msec(20));
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(data, "keep");
+}
+
+TEST_F(StorageFixture, NvramFullReportsError) {
+  Machine& m = cluster.add_machine("m");
+  Status st = Status::ok();
+  m.spawn("p", [&] {
+    nvram::NvramConfig cfg;
+    cfg.capacity_bytes = 256;
+    nvram::Nvram nv(sim, cfg);
+    Buffer big(100, 0);
+    ASSERT_TRUE(nv.append(1, big).is_ok());
+    ASSERT_TRUE(nv.append(2, big).is_ok());
+    st = nv.append(3, big).status();  // 3*116 > 256
+  });
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(st.code(), Errc::full);
+}
+
+TEST_F(StorageFixture, NvramCancelByIdAndTag) {
+  Machine& m = cluster.add_machine("m");
+  m.spawn("p", [&] {
+    nvram::Nvram nv(sim);
+    auto id1 = nv.append(10, to_buffer("a"));
+    (void)nv.append(10, to_buffer("b"));
+    (void)nv.append(11, to_buffer("c"));
+    ASSERT_TRUE(id1.is_ok());
+    EXPECT_TRUE(nv.cancel(*id1));
+    EXPECT_FALSE(nv.cancel(*id1));  // already gone
+    EXPECT_EQ(nv.cancel_tag(10), 1u);
+    EXPECT_EQ(nv.record_count(), 1u);
+    EXPECT_EQ(to_string(nv.front()->data), "c");
+    // Cancelling frees space.
+    EXPECT_EQ(nv.cancels(), 2u);
+  });
+  sim.run_until(sim::sec(1));
+}
+
+TEST_F(StorageFixture, NvramWritesAreFast) {
+  Machine& m = cluster.add_machine("m");
+  sim::Time took = -1;
+  m.spawn("p", [&] {
+    nvram::Nvram nv(sim);
+    sim::Time t0 = sim.now();
+    (void)nv.append(1, to_buffer("x"));
+    took = sim.now() - t0;
+  });
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(took, sim::usec(100));
+}
+
+TEST_F(StorageFixture, NvramFifoConsumption) {
+  Machine& m = cluster.add_machine("m");
+  std::vector<std::string> order;
+  m.spawn("p", [&] {
+    nvram::Nvram nv(sim);
+    (void)nv.append(1, to_buffer("first"));
+    (void)nv.append(2, to_buffer("second"));
+    while (const auto* rec = nv.front()) {
+      order.push_back(to_string(rec->data));
+      nv.pop_front();
+    }
+    EXPECT_TRUE(nv.empty());
+    EXPECT_EQ(nv.used_bytes(), 0u);
+  });
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+}
+
+}  // namespace
+}  // namespace amoeba
