@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msg_disk_counts.dir/bench_msg_disk_counts.cc.o"
+  "CMakeFiles/bench_msg_disk_counts.dir/bench_msg_disk_counts.cc.o.d"
+  "bench_msg_disk_counts"
+  "bench_msg_disk_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msg_disk_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/last_to_fail.dir/last_to_fail.cpp.o"
+  "CMakeFiles/last_to_fail.dir/last_to_fail.cpp.o.d"
+  "last_to_fail"
+  "last_to_fail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/last_to_fail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for last_to_fail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmpfile_nvram.dir/tmpfile_nvram.cpp.o"
+  "CMakeFiles/tmpfile_nvram.dir/tmpfile_nvram.cpp.o.d"
+  "tmpfile_nvram"
+  "tmpfile_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmpfile_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tmpfile_nvram.
+# This may be replaced when dependencies are built.

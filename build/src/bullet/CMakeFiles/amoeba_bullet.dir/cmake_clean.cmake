@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_bullet.dir/bullet.cc.o"
+  "CMakeFiles/amoeba_bullet.dir/bullet.cc.o.d"
+  "libamoeba_bullet.a"
+  "libamoeba_bullet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_bullet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_cap.dir/capability.cc.o"
+  "CMakeFiles/amoeba_cap.dir/capability.cc.o.d"
+  "libamoeba_cap.a"
+  "libamoeba_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

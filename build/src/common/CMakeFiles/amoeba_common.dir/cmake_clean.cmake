@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_common.dir/buffer.cc.o"
+  "CMakeFiles/amoeba_common.dir/buffer.cc.o.d"
+  "CMakeFiles/amoeba_common.dir/log.cc.o"
+  "CMakeFiles/amoeba_common.dir/log.cc.o.d"
+  "CMakeFiles/amoeba_common.dir/rand.cc.o"
+  "CMakeFiles/amoeba_common.dir/rand.cc.o.d"
+  "CMakeFiles/amoeba_common.dir/status.cc.o"
+  "CMakeFiles/amoeba_common.dir/status.cc.o.d"
+  "libamoeba_common.a"
+  "libamoeba_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

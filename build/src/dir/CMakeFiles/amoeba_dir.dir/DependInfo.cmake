@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dir/client.cc" "src/dir/CMakeFiles/amoeba_dir.dir/client.cc.o" "gcc" "src/dir/CMakeFiles/amoeba_dir.dir/client.cc.o.d"
+  "/root/repo/src/dir/group_server.cc" "src/dir/CMakeFiles/amoeba_dir.dir/group_server.cc.o" "gcc" "src/dir/CMakeFiles/amoeba_dir.dir/group_server.cc.o.d"
+  "/root/repo/src/dir/nfs_server.cc" "src/dir/CMakeFiles/amoeba_dir.dir/nfs_server.cc.o" "gcc" "src/dir/CMakeFiles/amoeba_dir.dir/nfs_server.cc.o.d"
+  "/root/repo/src/dir/nvram_log.cc" "src/dir/CMakeFiles/amoeba_dir.dir/nvram_log.cc.o" "gcc" "src/dir/CMakeFiles/amoeba_dir.dir/nvram_log.cc.o.d"
+  "/root/repo/src/dir/path.cc" "src/dir/CMakeFiles/amoeba_dir.dir/path.cc.o" "gcc" "src/dir/CMakeFiles/amoeba_dir.dir/path.cc.o.d"
+  "/root/repo/src/dir/proto.cc" "src/dir/CMakeFiles/amoeba_dir.dir/proto.cc.o" "gcc" "src/dir/CMakeFiles/amoeba_dir.dir/proto.cc.o.d"
+  "/root/repo/src/dir/rpc_server.cc" "src/dir/CMakeFiles/amoeba_dir.dir/rpc_server.cc.o" "gcc" "src/dir/CMakeFiles/amoeba_dir.dir/rpc_server.cc.o.d"
+  "/root/repo/src/dir/types.cc" "src/dir/CMakeFiles/amoeba_dir.dir/types.cc.o" "gcc" "src/dir/CMakeFiles/amoeba_dir.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/group/CMakeFiles/amoeba_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/bullet/CMakeFiles/amoeba_bullet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/amoeba_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/amoeba_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/amoeba_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/amoeba_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amoeba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_dir.dir/client.cc.o"
+  "CMakeFiles/amoeba_dir.dir/client.cc.o.d"
+  "CMakeFiles/amoeba_dir.dir/group_server.cc.o"
+  "CMakeFiles/amoeba_dir.dir/group_server.cc.o.d"
+  "CMakeFiles/amoeba_dir.dir/nfs_server.cc.o"
+  "CMakeFiles/amoeba_dir.dir/nfs_server.cc.o.d"
+  "CMakeFiles/amoeba_dir.dir/nvram_log.cc.o"
+  "CMakeFiles/amoeba_dir.dir/nvram_log.cc.o.d"
+  "CMakeFiles/amoeba_dir.dir/path.cc.o"
+  "CMakeFiles/amoeba_dir.dir/path.cc.o.d"
+  "CMakeFiles/amoeba_dir.dir/proto.cc.o"
+  "CMakeFiles/amoeba_dir.dir/proto.cc.o.d"
+  "CMakeFiles/amoeba_dir.dir/rpc_server.cc.o"
+  "CMakeFiles/amoeba_dir.dir/rpc_server.cc.o.d"
+  "CMakeFiles/amoeba_dir.dir/types.cc.o"
+  "CMakeFiles/amoeba_dir.dir/types.cc.o.d"
+  "libamoeba_dir.a"
+  "libamoeba_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

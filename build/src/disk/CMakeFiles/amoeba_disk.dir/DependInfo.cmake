@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk_server.cc" "src/disk/CMakeFiles/amoeba_disk.dir/disk_server.cc.o" "gcc" "src/disk/CMakeFiles/amoeba_disk.dir/disk_server.cc.o.d"
+  "/root/repo/src/disk/vdisk.cc" "src/disk/CMakeFiles/amoeba_disk.dir/vdisk.cc.o" "gcc" "src/disk/CMakeFiles/amoeba_disk.dir/vdisk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/amoeba_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amoeba_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

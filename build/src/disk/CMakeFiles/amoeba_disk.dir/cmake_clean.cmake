@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_disk.dir/disk_server.cc.o"
+  "CMakeFiles/amoeba_disk.dir/disk_server.cc.o.d"
+  "CMakeFiles/amoeba_disk.dir/vdisk.cc.o"
+  "CMakeFiles/amoeba_disk.dir/vdisk.cc.o.d"
+  "libamoeba_disk.a"
+  "libamoeba_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_group.dir/group.cc.o"
+  "CMakeFiles/amoeba_group.dir/group.cc.o.d"
+  "libamoeba_group.a"
+  "libamoeba_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

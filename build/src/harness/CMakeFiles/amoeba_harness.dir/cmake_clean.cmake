@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_harness.dir/testbed.cc.o"
+  "CMakeFiles/amoeba_harness.dir/testbed.cc.o.d"
+  "CMakeFiles/amoeba_harness.dir/workload.cc.o"
+  "CMakeFiles/amoeba_harness.dir/workload.cc.o.d"
+  "libamoeba_harness.a"
+  "libamoeba_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_net.dir/cluster.cc.o"
+  "CMakeFiles/amoeba_net.dir/cluster.cc.o.d"
+  "CMakeFiles/amoeba_net.dir/network.cc.o"
+  "CMakeFiles/amoeba_net.dir/network.cc.o.d"
+  "libamoeba_net.a"
+  "libamoeba_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_nvram.dir/nvram.cc.o"
+  "CMakeFiles/amoeba_nvram.dir/nvram.cc.o.d"
+  "libamoeba_nvram.a"
+  "libamoeba_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

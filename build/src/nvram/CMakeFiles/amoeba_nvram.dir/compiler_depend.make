@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for amoeba_nvram.
+# This may be replaced when dependencies are built.

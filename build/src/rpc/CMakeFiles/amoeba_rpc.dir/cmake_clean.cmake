@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_rpc.dir/rpc.cc.o"
+  "CMakeFiles/amoeba_rpc.dir/rpc.cc.o.d"
+  "libamoeba_rpc.a"
+  "libamoeba_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

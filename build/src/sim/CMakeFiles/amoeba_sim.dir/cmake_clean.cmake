@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_sim.dir/resource.cc.o"
+  "CMakeFiles/amoeba_sim.dir/resource.cc.o.d"
+  "CMakeFiles/amoeba_sim.dir/simulator.cc.o"
+  "CMakeFiles/amoeba_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/amoeba_sim.dir/waitq.cc.o"
+  "CMakeFiles/amoeba_sim.dir/waitq.cc.o.d"
+  "libamoeba_sim.a"
+  "libamoeba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

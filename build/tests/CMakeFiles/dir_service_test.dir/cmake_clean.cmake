@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_service_test.dir/dir_service_test.cc.o"
+  "CMakeFiles/dir_service_test.dir/dir_service_test.cc.o.d"
+  "dir_service_test"
+  "dir_service_test.pdb"
+  "dir_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_edge_test.dir/group_edge_test.cc.o"
+  "CMakeFiles/group_edge_test.dir/group_edge_test.cc.o.d"
+  "group_edge_test"
+  "group_edge_test.pdb"
+  "group_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

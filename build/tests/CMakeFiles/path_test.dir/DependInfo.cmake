@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/path_test.cc" "tests/CMakeFiles/path_test.dir/path_test.cc.o" "gcc" "tests/CMakeFiles/path_test.dir/path_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/amoeba_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/dir/CMakeFiles/amoeba_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/amoeba_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/bullet/CMakeFiles/amoeba_bullet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/amoeba_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/amoeba_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/amoeba_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/amoeba_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amoeba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amoeba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/amoeba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
