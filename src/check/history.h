@@ -1,0 +1,102 @@
+// Operation-history recording for the simulation fuzzing harness.
+//
+// A RecordingDirClient wraps dir::DirClient and logs one Event per
+// invocation: which client issued it, which (directory, name) key it
+// touched, when it was invoked and when it returned (simulated time), and
+// how the outcome classifies for the consistency checker:
+//
+//   * ok        — the server acknowledged the operation.
+//   * negative  — a definite semantic refusal (exists / not_found): the
+//                 server executed the request against its state.
+//   * ambiguous — anything else (timeout, unreachable, no_majority, ...).
+//                 The operation may or may not have been applied; the
+//                 checker must allow both (paper Sec. 2: the service is not
+//                 failure-free for clients).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dir/client.h"
+#include "sim/time.h"
+
+namespace amoeba::check {
+
+enum class OpKind : std::uint8_t {
+  create_dir = 1,
+  delete_dir,
+  append_row,
+  delete_row,
+  lookup,
+  list_dir,
+};
+
+const char* op_kind_name(OpKind k);
+
+enum class Outcome : std::uint8_t { ok, negative, ambiguous };
+
+/// Map a client-visible error code to an outcome class for `op`. Only codes
+/// that prove the server executed the request count as negative; everything
+/// unexpected is conservatively ambiguous.
+Outcome classify(OpKind op, Errc e);
+
+struct Event {
+  int client = 0;
+  OpKind op = OpKind::lookup;
+  std::uint32_t dir_obj = 0;  // directory object number; 0 = unknown
+  std::string name;           // row name; empty for dir-level ops
+  Outcome outcome = Outcome::ambiguous;
+  Errc errc = Errc::timeout;
+  sim::Time invoke = 0;
+  sim::Time response = sim::kTimeMax;  // kTimeMax: never returned
+  /// For a successful list_dir: every row name present in the listing.
+  std::vector<std::string> listing;
+};
+
+/// A per-run append-only log of events. begin() records the invocation
+/// immediately (outcome ambiguous, response = kTimeMax) so an operation
+/// still in flight when the run is harvested is soundly treated as
+/// possibly-applied; end() fills in the real outcome.
+class History {
+ public:
+  std::size_t begin(int client, OpKind op, std::uint32_t dir_obj,
+                    std::string name, sim::Time now);
+  void end(std::size_t idx, Outcome outcome, Errc errc, sim::Time now);
+  void set_dir_obj(std::size_t idx, std::uint32_t obj);
+  void set_listing(std::size_t idx, std::vector<std::string> names);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  [[nodiscard]] int count(Outcome o) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// dir::DirClient wrapper that records every call into a History. One per
+/// (sequential) client process; `client_id` tags the events.
+class RecordingDirClient {
+ public:
+  RecordingDirClient(dir::DirClient& inner, History& history, int client_id);
+
+  Result<cap::Capability> create_dir(const std::vector<std::string>& columns);
+  Status delete_dir(const cap::Capability& dir);
+  Status append_row(const cap::Capability& dir, const std::string& name,
+                    const std::vector<cap::Capability>& cols);
+  Status delete_row(const cap::Capability& dir, const std::string& name);
+  Result<cap::Capability> lookup(const cap::Capability& dir,
+                                 const std::string& name);
+  Result<dir::Directory> list_dir(const cap::Capability& dir);
+
+  [[nodiscard]] dir::DirClient& inner() { return inner_; }
+
+ private:
+  [[nodiscard]] sim::Time now() const;
+
+  dir::DirClient& inner_;
+  History& history_;
+  int client_;
+};
+
+}  // namespace amoeba::check

@@ -1,0 +1,247 @@
+#include "check/linearize.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+namespace amoeba::check {
+
+namespace {
+
+enum class Prim : std::uint8_t {
+  set,
+  clear,
+  read_true,
+  read_false,
+  maybe_set,
+  maybe_clear,
+};
+
+struct KOp {
+  Prim prim;
+  sim::Time invoke;
+  sim::Time response;
+  [[nodiscard]] bool definite() const {
+    return prim != Prim::maybe_set && prim != Prim::maybe_clear;
+  }
+};
+
+using Key = std::pair<std::uint32_t, std::string>;
+
+/// Translate one event into a primitive op for its key, or nullopt when the
+/// event contributes no constraint (e.g. a failed lookup).
+std::optional<Prim> primitive_for(const Event& ev) {
+  switch (ev.op) {
+    case OpKind::append_row:
+    case OpKind::create_dir:
+      switch (ev.outcome) {
+        case Outcome::ok: return Prim::set;
+        case Outcome::negative: return Prim::read_true;  // exists
+        case Outcome::ambiguous:
+          return ev.op == OpKind::create_dir ? std::nullopt
+                                             : std::optional(Prim::maybe_set);
+      }
+      break;
+    case OpKind::delete_row:
+    case OpKind::delete_dir:
+      switch (ev.outcome) {
+        case Outcome::ok: return Prim::clear;
+        case Outcome::negative: return Prim::read_false;  // not_found
+        case Outcome::ambiguous: return Prim::maybe_clear;
+      }
+      break;
+    case OpKind::lookup:
+      switch (ev.outcome) {
+        case Outcome::ok: return Prim::read_true;
+        case Outcome::negative: return Prim::read_false;
+        case Outcome::ambiguous: return std::nullopt;
+      }
+      break;
+    case OpKind::list_dir:
+      return std::nullopt;  // expanded separately per key
+  }
+  return std::nullopt;
+}
+
+struct KeySearch {
+  const std::vector<KOp>& ops;
+  std::uint64_t budget;
+  std::uint64_t visited = 0;
+  bool capped = false;
+  std::vector<std::uint64_t> mask;
+  std::size_t chosen = 0;
+  std::size_t definite_total = 0;
+  std::size_t definite_done = 0;
+  std::unordered_set<std::string> memo;
+
+  explicit KeySearch(const std::vector<KOp>& o, std::uint64_t b)
+      : ops(o), budget(b), mask((o.size() + 63) / 64, 0) {
+    for (const auto& op : ops) definite_total += op.definite() ? 1 : 0;
+  }
+
+  [[nodiscard]] bool taken(std::size_t i) const {
+    return (mask[i / 64] >> (i % 64)) & 1u;
+  }
+  void set_taken(std::size_t i, bool v) {
+    if (v) {
+      mask[i / 64] |= (1ull << (i % 64));
+    } else {
+      mask[i / 64] &= ~(1ull << (i % 64));
+    }
+  }
+
+  [[nodiscard]] std::string memo_key(bool state) const {
+    std::string k(reinterpret_cast<const char*>(mask.data()),
+                  mask.size() * sizeof(std::uint64_t));
+    k.push_back(state ? 1 : 0);
+    return k;
+  }
+
+  /// DFS over linearization orders. Returns true iff every definite op can
+  /// be placed; sets `capped` when the state budget ran out.
+  bool search(bool state) {
+    if (definite_done == definite_total) return true;
+    if (++visited > budget) {
+      capped = true;
+      return true;  // give up on this key: treat as unchecked, not failed
+    }
+    if (!memo.insert(memo_key(state)).second) return false;
+
+    // Real-time precedence: an op may linearize next only if no pending op
+    // finished before it was invoked.
+    sim::Time minr = sim::kTimeMax;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!taken(i)) minr = std::min(minr, ops[i].response);
+    }
+
+    // Definite candidates first (they make progress toward acceptance);
+    // ambiguous candidates of the same primitive are interchangeable —
+    // candidacy is monotone, so trying only the first of each kind loses
+    // no schedules.
+    bool tried_maybe_set = false, tried_maybe_clear = false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (taken(i) || ops[i].invoke > minr) continue;
+      bool next = state;
+      switch (ops[i].prim) {
+        case Prim::set:
+          if (state) continue;
+          next = true;
+          break;
+        case Prim::clear:
+          if (!state) continue;
+          next = false;
+          break;
+        case Prim::read_true:
+          if (!state) continue;
+          break;
+        case Prim::read_false:
+          if (state) continue;
+          break;
+        case Prim::maybe_set:
+          if (state || tried_maybe_set) continue;
+          tried_maybe_set = true;
+          next = true;
+          break;
+        case Prim::maybe_clear:
+          if (!state || tried_maybe_clear) continue;
+          tried_maybe_clear = true;
+          next = false;
+          break;
+      }
+      set_taken(i, true);
+      chosen++;
+      if (ops[i].definite()) definite_done++;
+      const bool found = search(next);
+      if (ops[i].definite()) definite_done--;
+      chosen--;
+      set_taken(i, false);
+      if (found || capped) return found || capped;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::string CheckResult::summary() const {
+  if (ok && complete) return "linearizable";
+  std::string s;
+  if (!ok) {
+    s = "NOT linearizable:";
+    for (const auto& v : violations) {
+      s += " [obj " + std::to_string(v.dir_obj) +
+           (v.name.empty() ? std::string(" <dir>") : " '" + v.name + "'") +
+           ": " + v.detail + "]";
+    }
+  }
+  if (!complete) s += (s.empty() ? "" : " ") + std::string("(search capped)");
+  return s;
+}
+
+CheckResult check_linearizable(const std::vector<Event>& events,
+                               const CheckOptions& opts) {
+  CheckResult out;
+  std::map<Key, std::vector<KOp>> keys;
+
+  for (const Event& ev : events) {
+    if (ev.dir_obj == 0) continue;
+    auto prim = primitive_for(ev);
+    if (!prim) continue;
+    const std::string& name =
+        (ev.op == OpKind::create_dir || ev.op == OpKind::delete_dir) ? ""
+                                                                     : ev.name;
+    // An ambiguous operation's effect can land after the client gave up on
+    // it (the request may still be queued in the network), so it must not
+    // precede anything: its response is "never".
+    const bool ambiguous =
+        *prim == Prim::maybe_set || *prim == Prim::maybe_clear;
+    keys[{ev.dir_obj, name}].push_back(
+        {*prim, ev.invoke, ambiguous ? sim::kTimeMax : ev.response});
+  }
+
+  // A successful listing pins every *tracked* key of that directory to the
+  // presence/absence it showed.
+  for (const Event& ev : events) {
+    if (ev.op != OpKind::list_dir || ev.outcome != Outcome::ok ||
+        ev.dir_obj == 0) {
+      continue;
+    }
+    for (auto& [key, ops] : keys) {
+      if (key.first != ev.dir_obj || key.second.empty()) continue;
+      const bool present = std::find(ev.listing.begin(), ev.listing.end(),
+                                     key.second) != ev.listing.end();
+      ops.push_back({present ? Prim::read_true : Prim::read_false, ev.invoke,
+                     ev.response});
+    }
+  }
+
+  for (auto& [key, ops] : keys) {
+    std::sort(ops.begin(), ops.end(), [](const KOp& a, const KOp& b) {
+      if (a.invoke != b.invoke) return a.invoke < b.invoke;
+      return a.response < b.response;
+    });
+    out.keys_checked++;
+    out.ops_checked += ops.size();
+    KeySearch search(ops, opts.max_states_per_key);
+    const bool linearizable = search.search(false);
+    if (search.capped) {
+      out.complete = false;
+      continue;
+    }
+    if (!linearizable) {
+      out.ok = false;
+      std::size_t ambiguous = 0;
+      for (const auto& op : ops) ambiguous += op.definite() ? 0 : 1;
+      out.violations.push_back(
+          {key.first, key.second,
+           "no valid linearization (" + std::to_string(ops.size()) + " ops, " +
+               std::to_string(ambiguous) + " ambiguous)",
+           ops.size()});
+    }
+  }
+  return out;
+}
+
+}  // namespace amoeba::check

@@ -1,0 +1,186 @@
+#include "check/nemesis.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rand.h"
+
+namespace amoeba::check {
+
+NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
+                               int steps) {
+  NemesisOptions o;
+  o.steps = steps;
+  o.nservers = nservers;
+  switch (flavor) {
+    case harness::Flavor::group:
+    case harness::Flavor::group_nvram:
+      break;  // crashes + partitions + loss
+    case harness::Flavor::rpc:
+    case harness::Flavor::rpc_nvram:
+      // Crash-only: the RPC service's supported fault model (Sec. 1).
+      // Partitions — and sustained loss, which times out the peer link on
+      // both sides at once — let both servers commit solo writes, the
+      // by-design divergence that motivated the group service.
+      o.allow_partition = false;
+      o.allow_loss = false;
+      break;
+    case harness::Flavor::nfs:
+      // Single unreplicated server with no boot-time state reload: a crash
+      // legitimately loses acknowledged updates, so only inject loss.
+      o.allow_crash = false;
+      o.allow_partition = false;
+      break;
+  }
+  return o;
+}
+
+std::vector<FaultStep> make_schedule(std::uint64_t seed,
+                                     const NemesisOptions& opts) {
+  Prng rng(seed * 0x9e3779b97f4a7c15ull + 0xbf58476d1ce4e5b9ull);
+  std::vector<FaultStep::Kind> kinds;
+  if (opts.allow_crash) kinds.push_back(FaultStep::Kind::crash);
+  if (opts.allow_partition) kinds.push_back(FaultStep::Kind::partition);
+  if (opts.allow_loss) kinds.push_back(FaultStep::Kind::loss);
+  kinds.push_back(FaultStep::Kind::calm);
+
+  std::vector<FaultStep> steps;
+  steps.reserve(static_cast<std::size_t>(opts.steps));
+  for (int i = 0; i < opts.steps; ++i) {
+    FaultStep s;
+    s.kind = kinds[rng.below(kinds.size())];
+    s.victim = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(std::max(1, opts.nservers))));
+    s.drop_prob = 0.02 + 0.02 * static_cast<double>(rng.below(12));  // ≤ 0.24
+    s.fault = sim::msec(static_cast<std::int64_t>(400 + rng.below(1800)));
+    s.settle = sim::msec(static_cast<std::int64_t>(300 + rng.below(1200)));
+    steps.push_back(s);
+  }
+  return steps;
+}
+
+std::string encode_schedule(const std::vector<FaultStep>& steps) {
+  std::string out;
+  for (const FaultStep& s : steps) {
+    if (!out.empty()) out += ',';
+    char buf[64];
+    const long fault_ms = static_cast<long>(s.fault / 1000);
+    const long settle_ms = static_cast<long>(s.settle / 1000);
+    switch (s.kind) {
+      case FaultStep::Kind::crash:
+        std::snprintf(buf, sizeof buf, "c%d/%ld/%ld", s.victim, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::partition:
+        std::snprintf(buf, sizeof buf, "p%d/%ld/%ld", s.victim, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::loss:
+        std::snprintf(buf, sizeof buf, "l%.2f/%ld/%ld", s.drop_prob, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::calm:
+        std::snprintf(buf, sizeof buf, "q/%ld/%ld", fault_ms, settle_ms);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+Result<std::vector<FaultStep>> decode_schedule(const std::string& text) {
+  std::vector<FaultStep> steps;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string tok = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+    FaultStep s;
+    char kind = 0;
+    double arg = 0;
+    long fault_ms = 0, settle_ms = 0;
+    if (std::sscanf(tok.c_str(), "%c%lf/%ld/%ld", &kind, &arg, &fault_ms,
+                    &settle_ms) == 4) {
+      switch (kind) {
+        case 'c':
+          s.kind = FaultStep::Kind::crash;
+          s.victim = static_cast<int>(arg);
+          break;
+        case 'p':
+          s.kind = FaultStep::Kind::partition;
+          s.victim = static_cast<int>(arg);
+          break;
+        case 'l':
+          s.kind = FaultStep::Kind::loss;
+          s.drop_prob = arg;
+          break;
+        default:
+          return Status::error(Errc::bad_request,
+                               "bad schedule step: " + tok);
+      }
+    } else if (std::sscanf(tok.c_str(), "q/%ld/%ld", &fault_ms, &settle_ms) ==
+               2) {
+      s.kind = FaultStep::Kind::calm;
+    } else {
+      return Status::error(Errc::bad_request, "bad schedule step: " + tok);
+    }
+    s.fault = sim::msec(fault_ms);
+    s.settle = sim::msec(settle_ms);
+    steps.push_back(s);
+  }
+  return steps;
+}
+
+void run_step(harness::Testbed& bed, const FaultStep& step) {
+  sim::Simulator& sim = bed.sim();
+  const int n = bed.num_dir_servers();
+  const int victim = n > 0 ? step.victim % n : 0;
+  switch (step.kind) {
+    case FaultStep::Kind::calm:
+      sim.run_for(step.fault);
+      break;
+    case FaultStep::Kind::crash: {
+      net::Machine& m = bed.dir_server(victim);
+      if (m.up()) bed.cluster().crash(m.id());
+      sim.run_for(step.fault);
+      if (!m.up()) bed.cluster().restart(m.id());
+      break;
+    }
+    case FaultStep::Kind::partition: {
+      // Minority = the victim server plus its private storage machine;
+      // everyone else (other servers, storage, all clients) stays together.
+      std::vector<net::MachineId> big, small;
+      for (int i = 0; i < n; ++i) {
+        auto& side = (i == victim) ? small : big;
+        side.push_back(bed.dir_server(i).id());
+        if (bed.options().flavor != harness::Flavor::nfs) {
+          side.push_back(bed.storage(i).id());
+        }
+      }
+      for (int i = 0; i < bed.num_clients(); ++i) {
+        big.push_back(bed.client(i).id());
+      }
+      bed.cluster().partition({big, small});
+      sim.run_for(step.fault);
+      bed.cluster().heal();
+      break;
+    }
+    case FaultStep::Kind::loss: {
+      const double base = bed.options().drop_prob;
+      bed.cluster().net().set_drop_prob(
+          std::min(0.9, base + step.drop_prob));
+      sim.run_for(step.fault);
+      bed.cluster().net().set_drop_prob(base);
+      break;
+    }
+  }
+  sim.run_for(step.settle);
+}
+
+void run_schedule(harness::Testbed& bed, const std::vector<FaultStep>& steps) {
+  for (const FaultStep& s : steps) run_step(bed, s);
+}
+
+}  // namespace amoeba::check

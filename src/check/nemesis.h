@@ -1,0 +1,58 @@
+// Seed-driven fault-schedule ("nemesis") generation and execution.
+//
+// A schedule is a flat list of steps executed from test/scheduler context
+// against a Testbed: crash+restart one directory server, partition one
+// server (with its storage machine) away from the rest, inject
+// probabilistic packet loss for a while, or stay calm. Which fault kinds a
+// flavor supports follows its documented fault model: the group service
+// survives crashes and partitions (paper Sec. 2-3), the RPC service only
+// crashes (partitions make it diverge by design, Sec. 1), and the NFS
+// baseline survives nothing but lost packets.
+//
+// Schedules encode to a compact string ("c1/800/500,p2/1200/300,...") so a
+// failing run can be shrunk and replayed exactly from the command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/testbed.h"
+
+namespace amoeba::check {
+
+struct FaultStep {
+  enum class Kind : std::uint8_t { calm = 0, crash, partition, loss };
+  Kind kind = Kind::calm;
+  int victim = 0;          // directory-server index (crash / partition)
+  double drop_prob = 0.0;  // loss only
+  sim::Duration fault = sim::msec(800);   // how long the fault is active
+  sim::Duration settle = sim::msec(500);  // quiet time after healing
+};
+
+struct NemesisOptions {
+  int steps = 6;
+  bool allow_crash = true;
+  bool allow_partition = true;
+  bool allow_loss = true;
+  int nservers = 3;
+};
+
+/// The fault kinds a flavor's documented fault model supports.
+NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
+                               int steps);
+
+/// Deterministically generate a schedule from `seed`.
+std::vector<FaultStep> make_schedule(std::uint64_t seed,
+                                     const NemesisOptions& opts);
+
+std::string encode_schedule(const std::vector<FaultStep>& steps);
+Result<std::vector<FaultStep>> decode_schedule(const std::string& text);
+
+/// Execute one step / a whole schedule (advances simulated time). Must be
+/// called from scheduler context, not from inside a simulated process.
+void run_step(harness::Testbed& bed, const FaultStep& step);
+void run_schedule(harness::Testbed& bed, const std::vector<FaultStep>& steps);
+
+}  // namespace amoeba::check

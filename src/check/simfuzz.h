@@ -1,0 +1,82 @@
+// One simulation-fuzzing run: build a Testbed for a (flavor, seed), hammer
+// it with recording clients while a seed-derived nemesis schedule injects
+// faults, then verify
+//
+//   1. the recorded operation history is linearizable (check/linearize.h),
+//   2. all replicas hold semantically identical state after the dust
+//      settles (one-copy equivalence, as the chaos test checks), and
+//   3. no simulated process died with an unexpected exception.
+//
+// Runs are fully deterministic for a given (flavor, seed, schedule): the
+// report's digest/end-time/event counts replay identically, which the
+// determinism regression test asserts. shrink() minimises a failing
+// schedule step-by-step, and repro_command() prints the exact simfuzz
+// invocation that replays the failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/linearize.h"
+#include "check/nemesis.h"
+
+namespace amoeba::check {
+
+struct FuzzOptions {
+  harness::Flavor flavor = harness::Flavor::group;
+  std::uint64_t seed = 1;
+  int clients = 3;
+  int keys = 8;   // row-name space ("k0".."k{keys-1}") on the home directory
+  int steps = 6;  // nemesis steps when `schedule` is empty
+  /// Debug hook: one replica serves reads without the buffered-messages
+  /// barrier (group flavors only). The checker must catch the resulting
+  /// stale reads.
+  bool inject_stale_reads = false;
+  std::vector<FaultStep> schedule;  // empty => make_schedule(seed)
+  sim::Duration workload_tail = sim::sec(3);  // client time after the storm
+};
+
+struct FuzzReport {
+  bool ok = false;
+  std::string failure;  // empty when ok
+
+  // Workload accounting.
+  std::size_t events = 0;
+  int ops_ok = 0;
+  int ops_negative = 0;
+  int ops_ambiguous = 0;
+
+  // Determinism digest material.
+  std::uint64_t state_digest = 0;  // FNV-1a over all replica snapshots
+  std::uint64_t wire_packets = 0;
+  sim::Time end_time = 0;
+
+  CheckResult lin;
+  bool replicas_agree = true;
+  std::vector<FaultStep> schedule_used;
+  /// The full recorded history (for debugging failures and for tests).
+  std::vector<Event> history;
+};
+
+FuzzReport run_one(const FuzzOptions& opts);
+
+/// Greedily drop schedule steps while the run still fails; returns the
+/// minimal failing schedule (and never more than `max_runs` re-runs).
+std::vector<FaultStep> shrink(const FuzzOptions& failing,
+                              const FuzzReport& report, int max_runs = 48);
+
+/// The exact CLI invocation that replays this run.
+std::string repro_command(const FuzzOptions& opts,
+                          const std::vector<FaultStep>& schedule);
+
+/// CLI-friendly flavor names ("group", "rpc_nvram", ...), round-trippable
+/// through parse_flavor (unlike harness::flavor_name's display strings).
+const char* flavor_token(harness::Flavor f);
+Result<harness::Flavor> parse_flavor(const std::string& token);
+
+/// FNV-1a 64-bit, used for replica-state digests.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+std::uint64_t fnv1a(const Buffer& b, std::uint64_t h = kFnvOffset);
+
+}  // namespace amoeba::check

@@ -109,13 +109,23 @@ Status write_commit_block(ServerCtx& ctx, Storage& st) {
 /// the caller can remove it after waking the initiator (Fig. 5).
 Result<cap::Capability> persist_object(ServerCtx& ctx, Storage& st,
                                        std::uint32_t obj) {
-  ObjectEntry* e = ctx.state.entry(obj);
   Directory* d = ctx.state.directory(obj);
-  if (e == nullptr || d == nullptr) {
+  if (ctx.state.entry(obj) == nullptr || d == nullptr) {
     return Status::error(Errc::internal, "persist of unknown object");
   }
-  auto file = st.bullet.create(d->serialize());
+  Buffer contents = d->serialize();
+  auto file = st.bullet.create(contents);
   if (!file.is_ok()) return file.status();
+  // The Bullet create yields to the simulator; the group thread may have
+  // applied a delete_dir for this very object while we slept, invalidating
+  // any pointer into the table. Re-look the object up before touching it —
+  // if it is gone, drop the fresh file and report it; the caller's next
+  // flush sees the deletion record and clears the disk block.
+  ObjectEntry* e = ctx.state.entry(obj);
+  if (e == nullptr || ctx.state.directory(obj) == nullptr) {
+    (void)st.bullet.del(*file);
+    return Status::error(Errc::not_found, "object deleted during persist");
+  }
   cap::Capability old = e->bullet;
   e->bullet = *file;
   Writer w;
@@ -292,6 +302,9 @@ void load_local_state(ServerCtx& ctx, Storage& st) {
   } else {
     ctx.my_seqno =
         std::max({ctx.state.max_dir_seqno(), ctx.cblock.seqno, nv_max});
+    LOG_DEBUG << ctx.machine.name() << " boot: my_seqno=" << ctx.my_seqno
+              << " (dir=" << ctx.state.max_dir_seqno()
+              << " commit=" << ctx.cblock.seqno << " nvram=" << nv_max << ")";
   }
 }
 
@@ -317,7 +330,12 @@ Buffer handle_admin(ServerCtx& ctx, const Buffer& request) {
         Writer w;
         w.u8(static_cast<std::uint8_t>(Errc::ok));
         w.u64(ctx.my_seqno);
-        w.u64(ctx.applied_seqno);
+        // The group thread bumps applied_seqno only after the (yielding)
+        // persistence step, so mid-persist the in-memory state already
+        // holds updates beyond applied_seqno. my_seqno tracks apply
+        // instantly; report the max so a joiner installing this snapshot
+        // skips everything the snapshot already contains.
+        w.u64(std::max(ctx.my_seqno, ctx.applied_seqno));
         w.u64(ctx.cblock.seqno);
         w.bytes(ctx.state.snapshot());
         return w.take();
@@ -336,6 +354,11 @@ group::GroupConfig make_group_cfg(const ServerCtx& ctx) {
   cfg.port = ctx.opts.group_port;
   cfg.universe = ctx.opts.dir_servers;
   cfg.resilience = ctx.opts.resilience;
+  // If this server ends up *creating* the group (e.g. after a total group
+  // collapse), the new lineage must continue the sequence numbering: peers
+  // that kept state from the old lineage compare record seqnos against
+  // their applied_seqno and would silently skip a restarted stream.
+  cfg.initial_seqno = std::max(ctx.my_seqno, ctx.applied_seqno);
   return cfg;
 }
 
@@ -344,13 +367,43 @@ group::GroupConfig make_group_cfg(const ServerCtx& ctx) {
 bool try_recover_once(ServerCtx& ctx, Storage& st) {
   sim::Simulator& sim = ctx.sim();
 
-  // "re-join server group or create it"
+  // "re-join server group or create it". Creation is staggered by server
+  // index: everyone first tries to join, but only the lowest index falls
+  // back to creating immediately — higher indices keep probing for a while
+  // so a simultaneous cold boot converges on one group instead of racing
+  // rival singleton lineages.
   if (!ctx.gm) {
     auto join = group::GroupMember::join(ctx.machine, make_group_cfg(ctx));
+    for (int attempt = 0; !join.is_ok() && attempt < 2 * ctx.my_index;
+         ++attempt) {
+      sim.sleep_for(ctx.opts.group_base.join_timeout);
+      join = group::GroupMember::join(ctx.machine, make_group_cfg(ctx));
+    }
     if (join.is_ok()) {
       ctx.gm = std::move(*join);
     } else {
-      ctx.gm = group::GroupMember::create(ctx.machine, make_group_cfg(ctx));
+      // Creating a fresh lineage: its numbering must continue past anything
+      // any reachable peer has applied — a rump majority may have committed
+      // updates we never saw, and a restarted sequence space would collide
+      // with them. Ask around before creating; unreachable peers are caught
+      // later by the exchange/fetch in the recovery body.
+      group::GroupConfig cfg = make_group_cfg(ctx);
+      Writer preq;
+      preq.u8(static_cast<std::uint8_t>(AdminOp::exchange));
+      for (int idx = 0; idx < ctx.nservers(); ++idx) {
+        if (idx == ctx.my_index) continue;
+        auto res = st.rpc.trans(admin_port(ctx, idx), preq.view(),
+                                {.timeout = sim::msec(200)});
+        if (!res.is_ok()) continue;
+        try {
+          Reader r(*res);
+          if (static_cast<Errc>(r.u8()) != Errc::ok) continue;
+          (void)r.u32();  // mourned set, unused here
+          cfg.initial_seqno = std::max(cfg.initial_seqno, r.u64());
+        } catch (const DecodeError&) {
+        }
+      }
+      ctx.gm = group::GroupMember::create(ctx.machine, cfg);
     }
   }
 
@@ -437,44 +490,72 @@ bool try_recover_once(ServerCtx& ctx, Storage& st) {
     }
   }
 
-  // Fetch the newest state if someone is ahead of us.
+  // Fetch the newest state if someone is ahead of us, or if the group has
+  // already sequenced updates its kernel will never deliver to us. Our
+  // delivery starts just past the join cutoff (info().last_delivered at
+  // join time); anything at or below it must arrive via the snapshot, so
+  // the donor must have APPLIED up to the cutoff before we install — a
+  // snapshot taken while the donor still has those updates in flight
+  // would lose them on this replica forever.
+  const std::uint64_t cutoff = ctx.gm->info().last_delivered;
   int best = ctx.my_index;
+  int donor = -1;
   for (const auto& [idx, s] : seqnos) {
     if (s > seqnos[best]) best = idx;
+    if (idx != ctx.my_index && (donor < 0 || s > seqnos[donor])) donor = idx;
   }
-  if (best != ctx.my_index && seqnos[best] > ctx.my_seqno) {
+  const bool behind_peer = best != ctx.my_index && seqnos[best] > ctx.my_seqno;
+  const bool behind_group = cutoff > std::max(ctx.my_seqno, ctx.applied_seqno);
+  if ((behind_peer || behind_group) && donor < 0) {
+    // We need a snapshot but nobody answered the exchange; retry the loop.
+    (void)ctx.gm->leave(sim::msec(200));
+    ctx.gm.reset();
+    sim.sleep_for(ctx.opts.recovery_backoff);
+    return false;
+  }
+  if (behind_peer || behind_group) {
     ctx.cblock.recovering = true;
     (void)write_commit_block(ctx, st);
 
     Writer freq;
     freq.u8(static_cast<std::uint8_t>(AdminOp::fetch_state));
-    auto res = st.rpc.trans(admin_port(ctx, best), freq.take(),
-                            {.timeout = sim::sec(5)});
     bool installed = false;
-    if (res.is_ok()) {
+    const sim::Time fetch_deadline = ctx.now() + sim::sec(2);
+    do {
+      auto res = st.rpc.trans(admin_port(ctx, donor), freq.view(),
+                              {.timeout = sim::sec(5)});
+      if (!res.is_ok()) break;
       try {
         Reader r(*res);
-        if (static_cast<Errc>(r.u8()) == Errc::ok) {
-          const std::uint64_t peer_seqno = r.u64();
-          const std::uint64_t peer_applied = r.u64();
-          const std::uint64_t peer_commit_seqno = r.u64();
-          Buffer snap = r.bytes();
-          ctx.state = DirState::from_snapshot(snap, ctx.opts.dir_port);
-          ctx.my_seqno = peer_seqno;
-          ctx.applied_seqno = std::max(ctx.applied_seqno, peer_applied);
-          ctx.cblock.seqno = peer_commit_seqno;
-          if (ctx.nv != nullptr) {
-            // The snapshot supersedes anything logged locally.
-            while (!ctx.nv->empty()) ctx.nv->pop_front();
-            ctx.pending_commit_seqno = 0;
-          }
-          Status ps = persist_everything(ctx, st);
-          installed = ps.is_ok();
+        if (static_cast<Errc>(r.u8()) != Errc::ok) break;
+        const std::uint64_t peer_seqno = r.u64();
+        const std::uint64_t peer_applied = r.u64();
+        const std::uint64_t peer_commit_seqno = r.u64();
+        Buffer snap = r.bytes();
+        if (peer_applied < cutoff) {
+          // Donor is still applying the stream below our cutoff; poll
+          // until its snapshot covers the gap.
+          sim.sleep_for(sim::msec(20));
+          continue;
         }
+        ctx.state = DirState::from_snapshot(snap, ctx.opts.dir_port);
+        LOG_DEBUG << ctx.machine.name() << " installed snapshot from dir"
+                  << donor << ": applied=" << peer_applied
+                  << " cutoff=" << cutoff;
+        ctx.my_seqno = std::max(peer_seqno, ctx.my_seqno);
+        ctx.applied_seqno = std::max(ctx.applied_seqno, peer_applied);
+        ctx.cblock.seqno = peer_commit_seqno;
+        if (ctx.nv != nullptr) {
+          // The snapshot supersedes anything logged locally.
+          while (!ctx.nv->empty()) ctx.nv->pop_front();
+          ctx.pending_commit_seqno = 0;
+        }
+        Status ps = persist_everything(ctx, st);
+        installed = ps.is_ok();
       } catch (const DecodeError&) {
-        installed = false;
+        break;
       }
-    }
+    } while (!installed && ctx.now() < fetch_deadline);
     if (!installed) {
       // recovering flag stays set: if we die now, the next boot zeroes our
       // seqno (paper Sec. 3).
@@ -552,7 +633,18 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
       ctx.applied_wq.notify_all();
       continue;
     }
-    if (msg.seqno <= ctx.applied_seqno) continue;  // covered by state transfer
+    if (msg.seqno <= ctx.applied_seqno) {
+      LOG_DEBUG << ctx.machine.name() << " SKIP seqno=" << msg.seqno
+                << " applied=" << ctx.applied_seqno;
+      continue;  // covered by state transfer
+    }
+    if (ctx.opts.debug_skip_read_barrier) {
+      // The injected bug is "serve reads without waiting for buffered
+      // messages". Lag the apply so the stale window is wide enough for
+      // clients to actually observe it; commits elsewhere are unaffected
+      // (the kernel ACKs independently of the application thread).
+      ctx.sim().sleep_for(sim::msec(150));
+    }
 
     std::uint64_t opid = 0;
     std::uint64_t secret = 0;
@@ -582,6 +674,18 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
     }
     DirState::ApplyEffect effect;
     Buffer reply = ctx.state.apply(request, secret, msg.seqno, &effect);
+    if (log::level() <= log::Level::debug) {
+      auto dbg_op = peek_op(request);
+      LOG_DEBUG << ctx.machine.name() << " APPLY seqno=" << msg.seqno
+                << " op=" << (dbg_op.is_ok() ? static_cast<int>(*dbg_op) : -1)
+                << " obj=" << request_target(request)
+                << " touched="
+                << (effect.touched.empty() ? 0 : effect.touched.front())
+                << " deleted="
+                << (effect.deleted.empty() ? 0 : effect.deleted.front())
+                << " sender=" << msg.sender.v
+                << " mine=" << (msg.sender == ctx.machine.id());
+    }
     ctx.my_seqno = std::max(ctx.my_seqno, msg.seqno);
 
     std::vector<cap::Capability> old_files;
@@ -633,15 +737,17 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
     if (rd) {
       // Buffered-messages barrier: before reading, apply everything the
       // kernel knows exists (r = 2 makes this sufficient, Sec. 3.1).
-      const std::uint64_t target = ctx.gm->info().known_latest;
-      const sim::Time deadline = ctx.now() + ctx.opts.read_barrier_timeout;
-      while (ctx.applied_seqno < target && ctx.now() < deadline &&
-             !ctx.in_recovery) {
-        ctx.applied_wq.wait_until(deadline);
-      }
-      if (ctx.applied_seqno < target) {
-        server.put_reply(req, reply_error(Errc::refused));
-        continue;
+      if (!ctx.opts.debug_skip_read_barrier) {
+        const std::uint64_t target = ctx.gm->info().known_latest;
+        const sim::Time deadline = ctx.now() + ctx.opts.read_barrier_timeout;
+        while (ctx.applied_seqno < target && ctx.now() < deadline &&
+               !ctx.in_recovery) {
+          ctx.applied_wq.wait_until(deadline);
+        }
+        if (ctx.applied_seqno < target) {
+          server.put_reply(req, reply_error(Errc::refused));
+          continue;
+        }
       }
       server.put_reply(req, ctx.state.execute_read(req.data));
       ctx.stats->reads++;

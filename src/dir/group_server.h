@@ -40,6 +40,13 @@ struct GroupDirOptions {
   bool use_nvram = false;
   bool improved_recovery = false;  // Sec. 3.2's relaxed 2-server rule
 
+  /// Debug fault injection (simfuzz only): serve reads WITHOUT the
+  /// buffered-messages barrier, so this server can return state that
+  /// predates updates already acknowledged elsewhere. Exists to prove the
+  /// linearizability checker catches real ordering bugs; never set it in
+  /// production configurations.
+  bool debug_skip_read_barrier = false;
+
   // Calibrated Sun3/60-era CPU costs (see DESIGN.md).
   sim::Duration cpu_read = sim::msec(3);
   sim::Duration cpu_write = sim::msec(3);

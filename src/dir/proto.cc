@@ -1,5 +1,7 @@
 #include "dir/proto.h"
 
+#include "common/log.h"
+
 #include <algorithm>
 
 namespace amoeba::dir {

@@ -20,7 +20,7 @@ using net::Machine;
 using net::MachineId;
 using net::Port;
 
-enum class PeerOp : std::uint8_t { intent = 1, resync };
+using PeerOp = RpcPeerOp;
 
 /// The intentions slot is the only raw-partition block the RPC service
 /// uses; directory metadata lives inside the (self-describing) bullet
@@ -249,6 +249,9 @@ void lazy_loop(RpcServerCtx& ctx) {
 
 // ------------------------------------------------------------ peer service
 
+void install_snapshot(RpcServerCtx& ctx, Storage& st, const Buffer& snap,
+                      std::uint64_t peer_seqno);
+
 Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
   try {
     Reader r(request);
@@ -276,6 +279,13 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
           RpcServerCtx* c;
           ~Unlock() { c->unlock(); }
         } unlock{&ctx};
+        ctx.peer_down = false;  // peer traffic proves the peer is alive
+        if (seqno != ctx.last_seqno + 1) {
+          // We missed updates (we restarted, or the initiator wrote while we
+          // were unreachable): a delta on the wrong baseline would corrupt
+          // our state. Refuse; the initiator pushes its full state first.
+          return reply_error(Errc::conflict);
+        }
         ctx.stats->intents_received++;
         ctx.machine.cpu().use(ctx.opts.cpu_apply);
         // Store the intentions (update + new seqno) durably, then apply to
@@ -319,6 +329,32 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
         w.bytes(ctx.state.snapshot());
         return w.take();
       }
+      case PeerOp::push_state: {
+        const std::uint64_t seqno = r.u64();
+        Buffer snap = r.bytes();
+        const sim::Time lock_deadline =
+            ctx.now() + (ctx.my_index == 0 ? 0 : sim::msec(120));
+        while (ctx.update_lock) {
+          if (ctx.now() >= lock_deadline) return reply_error(Errc::refused);
+          ctx.lock_wq.wait_until(lock_deadline);
+        }
+        ctx.update_lock = true;
+        struct Unlock {
+          RpcServerCtx* c;
+          ~Unlock() { c->unlock(); }
+        } unlock{&ctx};
+        // The pushing peer is alive and, once this exchange completes, up to
+        // date — so updates must re-engage it via intents from here on.
+        // Clearing the flag under the lock closes the stale-read window a
+        // rebooted peer would otherwise have while we kept writing solo.
+        ctx.peer_down = false;
+        if (seqno > ctx.last_seqno) install_snapshot(ctx, st, snap, seqno);
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(Errc::ok));
+        w.u64(ctx.last_seqno);
+        w.bytes(ctx.last_seqno > seqno ? ctx.state.snapshot() : Buffer{});
+        return w.take();
+      }
     }
     return reply_error(Errc::bad_request);
   } catch (const DecodeError&) {
@@ -327,6 +363,8 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
 }
 
 // ------------------------------------------------------------- initiators
+
+bool sync_with_peer(RpcServerCtx& ctx, Storage& st);
 
 void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
   Storage st(ctx);
@@ -386,6 +424,13 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
             static_cast<sim::Duration>(ctx.sim().rng().below(8000)));
         continue;
       }
+      if (!peer_st.is_ok() && peer_st.code() == Errc::conflict) {
+        // The peer missed updates (it restarted, or we wrote while it was
+        // unreachable): converge states, then retry with a fresh seqno.
+        (void)sync_with_peer(ctx, st);
+        ctx.unlock();
+        continue;
+      }
       if (!peer_st.is_ok()) {
         ctx.unlock();
         reply = reply_error(peer_st.code());
@@ -443,6 +488,34 @@ void install_snapshot(RpcServerCtx& ctx, Storage& st, const Buffer& snap,
   ctx.stats->resyncs++;
 }
 
+/// Exchange state with the peer so the replicas converge after a
+/// missed-update window (a restart, or writes committed while the peer was
+/// unreachable). Pushes our state; the peer installs it iff it is behind
+/// and replies with its own state iff it is ahead, which we then install.
+/// Caller holds the update lock. Returns true when the exchange completed.
+bool sync_with_peer(RpcServerCtx& ctx, Storage& st) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(PeerOp::push_state));
+  w.u64(ctx.last_seqno);
+  w.bytes(ctx.state.snapshot());
+  auto res = st.rpc.trans(admin_port(ctx, ctx.peer_index), w.take(),
+                          {.timeout = ctx.opts.peer_timeout});
+  if (!res.is_ok()) return false;
+  try {
+    Reader r(*res);
+    if (static_cast<Errc>(r.u8()) != Errc::ok) return false;
+    const std::uint64_t peer_seqno = r.u64();
+    Buffer snap = r.bytes();
+    if (peer_seqno > ctx.last_seqno && !snap.empty()) {
+      install_snapshot(ctx, st, snap, peer_seqno);
+    }
+    ctx.stats->state_pushes++;
+    return true;
+  } catch (const DecodeError&) {
+    return false;
+  }
+}
+
 void load_and_resync(RpcServerCtx& ctx, Storage& st) {
   // Reconstruct the object table by enumerating our bullet server: the
   // files are self-describing.
@@ -491,31 +564,20 @@ void load_and_resync(RpcServerCtx& ctx, Storage& st) {
     (void)st.disk.write_block(kIntentBlock, Buffer{});
   }
 
-  // Catch up from the peer if it is ahead (it kept running while we were
-  // down, or it processed updates we never saw). The peer may be booting
-  // at the same time, so retry before concluding it is down.
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(PeerOp::resync));
-  Result<Buffer> res{Status::error(Errc::unreachable, "no attempt")};
-  for (int attempt = 0; attempt < 10; ++attempt) {
-    res = st.rpc.trans(admin_port(ctx, ctx.peer_index), w.view(),
-                       {.timeout = ctx.opts.peer_timeout});
-    if (res.is_ok()) break;
-    ctx.sim().sleep_for(sim::msec(200));
+  // Exchange state with the peer: catch up if it kept running while we
+  // were down, and — crucially — make it re-engage intents before we start
+  // serving clients. Were we to serve reads while the peer still considered
+  // us down, every update it committed solo would be invisible here: an
+  // acknowledged write that a read then misses. The peer may be booting at
+  // the same time, so retry before concluding it is down.
+  bool synced = false;
+  for (int attempt = 0; attempt < 10 && !synced; ++attempt) {
+    ctx.lock();
+    synced = sync_with_peer(ctx, st);
+    ctx.unlock();
+    if (!synced) ctx.sim().sleep_for(sim::msec(200));
   }
-  if (res.is_ok()) {
-    try {
-      Reader r(*res);
-      if (static_cast<Errc>(r.u8()) == Errc::ok) {
-        const std::uint64_t peer_seqno = r.u64();
-        Buffer snap = r.bytes();
-        if (peer_seqno > ctx.last_seqno) {
-          install_snapshot(ctx, st, snap, peer_seqno);
-        }
-      }
-    } catch (const DecodeError&) {
-    }
-  } else {
+  if (!synced) {
     ctx.peer_down = true;  // start alone; the peer resyncs when it returns
   }
 }
@@ -573,16 +635,19 @@ void service_main(Machine& machine, RpcDirOptions opts) {
                   [&ctx, server] { initiator_loop(ctx, *server); });
   }
 
-  // Peer liveness probe: notice the peer returning so updates re-engage it.
+  // Peer liveness probe: when the peer returns, converge state and
+  // re-engage intents. peer_down is cleared under the lock *before* the
+  // exchange, so every update serialized after the pushed snapshot goes
+  // through the intent path (where the seqno-contiguity check catches any
+  // remaining gap) instead of silently staying local.
   Storage probe(ctx);
   while (true) {
     machine.sim().sleep_for(sim::msec(500));
     if (ctx.peer_down) {
-      Writer w;
-      w.u8(static_cast<std::uint8_t>(PeerOp::resync));
-      auto res = probe.rpc.trans(admin_port(ctx, ctx.peer_index), w.take(),
-                                 {.timeout = sim::msec(300)});
-      if (res.is_ok()) ctx.peer_down = false;
+      ctx.lock();
+      ctx.peer_down = false;
+      if (!sync_with_peer(ctx, probe)) ctx.peer_down = true;
+      ctx.unlock();
     }
   }
 }

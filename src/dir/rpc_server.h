@@ -50,6 +50,20 @@ struct RpcDirOptions {
   double flush_high_water = 0.75;
 };
 
+/// Peer protocol served on `admin_port_base + machine id` (exposed so tests
+/// and tools can inspect replicas).
+/// intent:     request = op, seqno u64, secret u64, dir-request bytes;
+///             reply = status. `conflict` means the receiver's state is not
+///             at seqno-1 (it missed updates); the initiator must push its
+///             state before retrying.
+/// resync:     reply = errc, last-seqno u64, DirState snapshot bytes.
+/// push_state: request = op, seqno u64, snapshot bytes; the receiver
+///             installs the snapshot iff it is behind. reply = errc,
+///             receiver's last-seqno u64, receiver's snapshot bytes iff the
+///             receiver is *ahead* (empty otherwise), so one exchange
+///             converges both sides.
+enum class RpcPeerOp : std::uint8_t { intent = 1, resync, push_state };
+
 void install_rpc_dir_server(net::Machine& machine, RpcDirOptions opts);
 
 struct RpcDirStats {
@@ -60,6 +74,7 @@ struct RpcDirStats {
   std::uint64_t peer_down_writes = 0; // updates committed without the peer
   std::uint64_t conflicts = 0;        // intent refusals observed
   std::uint64_t resyncs = 0;
+  std::uint64_t state_pushes = 0;     // push_state exchanges initiated
   std::uint64_t nvram_cancellations = 0;
   std::uint64_t flushes = 0;
 };

@@ -22,6 +22,7 @@ enum class WireType : std::uint8_t {
   failed_note,  // sequencer -> members: I detected a failure
   join_req,     // joiner -> broadcast
   join_ack,     // sequencer -> joiner: view snapshot
+  join_confirm, // joiner -> chosen sequencer: I installed your view
   leave_req,    // leaver -> sequencer
   invite,       // reset coordinator -> universe
   vote,         // member -> coordinator
@@ -65,6 +66,11 @@ struct GroupMember::Ctx {
   MachineId me;
 
   // View.
+  // Lineage id: minted by CreateGroup, adopted by joiners, preserved across
+  // resets. Every packet except join_req/join_ack carries it; a mismatch is
+  // dropped. Two concurrently-created groups on one port thus cannot mix
+  // their seqno streams even when their incarnation numbers collide.
+  std::uint64_t gid = 0;
   MemberState state = MemberState::failed;
   std::uint32_t incarnation = 0;
   std::vector<MachineId> members;
@@ -82,6 +88,9 @@ struct GroupMember::Ctx {
   // Duplicate suppression at delivery (origin, msgid).
   std::set<std::pair<std::uint16_t, std::uint64_t>> delivered_ids;
   std::deque<std::pair<std::uint16_t, std::uint64_t>> delivered_fifo;
+  // Boot nonce of each member's current incarnation (carried by its join
+  // record). A changed nonce means the member restarted its msgid space.
+  std::map<std::uint16_t, std::uint64_t> member_nonce;
 
   // BB method: payloads received out of band, waiting for their ordering
   // message. Keyed by (origin, msgid); FIFO-pruned.
@@ -194,6 +203,7 @@ void GroupMember::Ctx::go_failed(const std::string& why) {
   if (was_sequencer) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(WireType::failed_note));
+    w.u64(gid);
     w.u32(incarnation);
     multicast_pkt(members, w.take(), false);
   }
@@ -222,6 +232,23 @@ void GroupMember::Ctx::process_in_order(const AcceptRecord& rec) {
       if (!is_member(rec.origin)) {
         members.push_back(rec.origin);
         std::sort(members.begin(), members.end());
+      }
+      if (member_nonce[rec.origin.v] != rec.origin_msgid) {
+        // The origin rebooted: its msgid space restarted at 1, so dedup
+        // entries from its previous incarnation would silently swallow its
+        // new messages (delivered everywhere else, dropped here — a lost
+        // acked write). Forget everything keyed by this origin.
+        member_nonce[rec.origin.v] = rec.origin_msgid;
+        const std::uint16_t ov = rec.origin.v;
+        std::erase_if(delivered_ids,
+                      [ov](const auto& k) { return k.first == ov; });
+        std::erase_if(delivered_fifo,
+                      [ov](const auto& k) { return k.first == ov; });
+        std::erase_if(req_dedup,
+                      [ov](const auto& kv) { return kv.first.first == ov; });
+        std::erase_if(bb_stash,
+                      [ov](const auto& kv) { return kv.first.first == ov; });
+        std::erase_if(bb_fifo, [ov](const auto& k) { return k.first == ov; });
       }
       if (i_am_sequencer()) member_alive[rec.origin.v] = now();
       break;
@@ -279,6 +306,7 @@ void GroupMember::Ctx::buffer_accept(const AcceptRecord& rec, MachineId from) {
   if (!out_of_order.empty() && next_buffer < out_of_order.begin()->first) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(WireType::retrans_req));
+    w.u64(gid);
     w.u64(next_buffer);
     send_pkt(from, w.take(), false);
     stats.retransmissions++;
@@ -321,12 +349,14 @@ std::uint64_t GroupMember::Ctx::seq_assign(MsgKind kind, MachineId origin,
     // BB method: the members already hold the payload (bb_data); announce
     // only the ordering.
     w.u8(static_cast<std::uint8_t>(WireType::bb_order));
+    w.u64(gid);
     w.u32(incarnation);
     w.u64(rec.seqno);
     w.u16(rec.origin.v);
     w.u64(rec.origin_msgid);
   } else {
     w.u8(static_cast<std::uint8_t>(WireType::accept));
+    w.u64(gid);
     w.u32(incarnation);
     encode_accept_body(w, rec);
   }
@@ -343,6 +373,7 @@ void GroupMember::Ctx::take_accept(const AcceptRecord& rec, MachineId from) {
   if (state == MemberState::normal && !i_am_sequencer()) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(WireType::ack));
+    w.u64(gid);
     w.u32(incarnation);
     w.u64(rec.seqno);
     w.u16(me.v);
@@ -361,6 +392,7 @@ void GroupMember::Ctx::seq_maybe_commit(std::uint64_t seqno) {
   } else if (pc.origin != me && pc.origin_msgid != 0) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(WireType::commit));
+    w.u64(gid);
     w.u32(incarnation);
     w.u64(pc.origin_msgid);
     send_pkt(pc.origin, w.take(), true);
@@ -381,6 +413,7 @@ void GroupMember::Ctx::serve_retrans(MachineId who, std::uint64_t from) {
     if (it == history.end()) continue;  // pruned: requester needs app-level
     Writer w;                           // state transfer instead
     w.u8(static_cast<std::uint8_t>(WireType::accept));
+    w.u64(gid);
     w.u32(incarnation);
     encode_accept_body(w, it->second);
     send_pkt(who, w.take(), false);
@@ -400,6 +433,7 @@ void GroupMember::Ctx::do_tick() {
   if (i_am_sequencer()) {
     Writer w;
     w.u8(static_cast<std::uint8_t>(WireType::heartbeat));
+    w.u64(gid);
     w.u32(incarnation);
     w.u64(next_seqno);
     multicast_pkt(members, w.take(), false);
@@ -423,6 +457,7 @@ void GroupMember::Ctx::do_tick() {
     if (watermark() < known_latest) {
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireType::retrans_req));
+      w.u64(gid);
       w.u64(next_buffer);
       send_pkt(sequencer, w.take(), false);
       stats.retransmissions++;
@@ -433,6 +468,13 @@ void GroupMember::Ctx::do_tick() {
 void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
   Reader r(pkt.payload);
   auto type = static_cast<WireType>(r.u8());
+  // Lineage filter: join_req is pre-lineage discovery and join_ack is
+  // consumed synchronously by the join() factory; everything else must
+  // carry our gid or it belongs to a different group on this port.
+  if (type == WireType::join_ack) return;
+  if (type != WireType::join_req) {
+    if (r.u64() != gid) return;
+  }
   switch (type) {
     case WireType::req: {
       const std::uint32_t inc = r.u32();
@@ -443,6 +485,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       if (inc != incarnation) {
         Writer w;
         w.u8(static_cast<std::uint8_t>(WireType::stale_note));
+        w.u64(gid);
         w.u32(std::max(incarnation, max_attempt_seen));
         send_pkt(pkt.src, w.take(), false);
         return;
@@ -457,6 +500,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
           // Already committed: re-send the commit notification.
           Writer w;
           w.u8(static_cast<std::uint8_t>(WireType::commit));
+          w.u64(gid);
           w.u32(incarnation);
           w.u64(msgid);
           send_pkt(origin, w.take(), true);
@@ -499,6 +543,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         if (!commits.contains(it->second)) {
           Writer w;
           w.u8(static_cast<std::uint8_t>(WireType::commit));
+          w.u64(gid);
           w.u32(incarnation);
           w.u64(msgid);
           send_pkt(origin, w.take(), true);
@@ -533,6 +578,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         // Payload lost or reordered: ask the sequencer for full accepts.
         Writer w;
         w.u8(static_cast<std::uint8_t>(WireType::retrans_req));
+        w.u64(gid);
         w.u64(next_buffer);
         send_pkt(pkt.src, w.take(), false);
         stats.retransmissions++;
@@ -582,12 +628,14 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       if (watermark() < known_latest) {
         Writer w;
         w.u8(static_cast<std::uint8_t>(WireType::retrans_req));
+        w.u64(gid);
         w.u64(next_buffer);
         send_pkt(sequencer, w.take(), false);
         stats.retransmissions++;
       }
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireType::alive));
+      w.u64(gid);
       w.u32(incarnation);
       w.u16(me.v);
       send_pkt(sequencer, w.take(), false);
@@ -612,19 +660,48 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
     }
 
     case WireType::join_req: {
+      // Phase 1: offer our view. The join is NOT sequenced yet — the
+      // request was a broadcast, so several groups may answer and the
+      // joiner will install only one of them. Counting the joiner now
+      // would fabricate a member (and possibly a phantom majority) in
+      // every group it did not pick.
       const MachineId joiner = MachineId{r.u16()};
       if (state != MemberState::normal || !i_am_sequencer()) return;
-      if (!is_member(joiner)) {
-        seq_assign(MsgKind::join, joiner, 0, {});
-      }
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireType::join_ack));
       w.u32(incarnation);
+      w.u64(gid);
       w.u16(sequencer.v);
       w.u16(static_cast<std::uint16_t>(members.size()));
       for (MachineId m : members) w.u16(m.v);
       w.u64(next_seqno);
       send_pkt(joiner, w.take(), false);
+      return;
+    }
+
+    case WireType::join_confirm: {
+      // Phase 2: the joiner installed OUR view (gid already verified), so
+      // membership is now unambiguous. Sequence the join record carrying
+      // the joiner's boot nonce; every member processing it resets the
+      // joiner's dedup state (its msgid space restarted at 1 — stale
+      // entries would silently swallow its new messages as lost acked
+      // writes). Self-delivery updates member_nonce synchronously, which
+      // also dedups retries of the confirm itself.
+      const MachineId joiner = MachineId{r.u16()};
+      const std::uint64_t nonce = r.u64();
+      if (state != MemberState::normal || !i_am_sequencer()) return;
+      if (is_member(joiner) && member_nonce[joiner.v] == nonce) return;
+      const std::uint64_t s = seq_assign(MsgKind::join, joiner, nonce, {});
+      // The multicast above went to the pre-join member list; hand the
+      // record to the joiner directly so it does not start with a gap.
+      if (auto it = history.find(s); it != history.end()) {
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(WireType::accept));
+        w.u64(gid);
+        w.u32(incarnation);
+        encode_accept_body(w, it->second);
+        send_pkt(joiner, w.take(), false);
+      }
       return;
     }
 
@@ -651,6 +728,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         // it so it retries with a higher attempt and pulls us in.
         Writer w;
         w.u8(static_cast<std::uint8_t>(WireType::stale_note));
+        w.u64(gid);
         w.u32(std::max(incarnation, max_attempt_seen));
         send_pkt(coord, w.take(), false);
         return;
@@ -671,6 +749,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       if (coord != me) {
         Writer w;
         w.u8(static_cast<std::uint8_t>(WireType::vote));
+        w.u64(gid);
         w.u32(attempt);
         w.u16(me.v);
         w.u64(watermark());
@@ -718,6 +797,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       if (watermark() < known_latest) {
         Writer w;
         w.u8(static_cast<std::uint8_t>(WireType::retrans_req));
+        w.u64(gid);
         w.u64(next_buffer);
         send_pkt(sequencer, w.take(), false);
         stats.retransmissions++;
@@ -781,7 +861,15 @@ std::unique_ptr<GroupMember> GroupMember::create(net::Machine& machine,
                                                  GroupConfig cfg) {
   auto ctx = make_ctx(machine, std::move(cfg));
   ctx->state = MemberState::normal;
+  // Mint the lineage id: unique per (creator, creation instant) — two
+  // concurrently-created groups on one port get distinct lineages.
+  ctx->gid = (static_cast<std::uint64_t>(ctx->me.v) << 48) |
+             (static_cast<std::uint64_t>(ctx->now()) + 1);
   ctx->incarnation = std::max<std::uint32_t>(1, ctx->max_attempt_seen + 1);
+  ctx->next_seqno = ctx->cfg.initial_seqno + 1;
+  ctx->next_buffer = ctx->cfg.initial_seqno + 1;
+  ctx->known_latest = ctx->cfg.initial_seqno;
+  ctx->last_delivered = ctx->cfg.initial_seqno;
   ctx->members = {ctx->me};
   ctx->sequencer = ctx->me;
   ctx->install_member_alive();
@@ -796,6 +884,10 @@ Result<std::unique_ptr<GroupMember>> GroupMember::join(net::Machine& machine,
   sim::Simulator& sim = machine.sim();
   const sim::Time deadline = sim.now() + ctx->cfg.join_timeout;
 
+  // Boot nonce: identifies this incarnation's msgid space. Creation time
+  // is strictly increasing across reboots of one machine (make_ctx waits
+  // for the previous kernel to unbind), and +1 keeps it nonzero.
+  const std::uint64_t nonce = static_cast<std::uint64_t>(sim.now()) + 1;
   Writer w;
   w.u8(static_cast<std::uint8_t>(WireType::join_req));
   w.u16(ctx->me.v);
@@ -814,6 +906,7 @@ Result<std::unique_ptr<GroupMember>> GroupMember::join(net::Machine& machine,
         Reader r(pkt->payload);
         if (static_cast<WireType>(r.u8()) != WireType::join_ack) continue;
         const std::uint32_t inc = r.u32();
+        const std::uint64_t acked_gid = r.u64();
         const MachineId seq = MachineId{r.u16()};
         const std::uint16_t n = r.u16();
         std::vector<MachineId> mem;
@@ -821,6 +914,7 @@ Result<std::unique_ptr<GroupMember>> GroupMember::join(net::Machine& machine,
           mem.push_back(MachineId{r.u16()});
         }
         const std::uint64_t next = r.u64();
+        ctx->gid = acked_gid;
         ctx->incarnation = inc;
         ctx->sequencer = seq;
         ctx->members = std::move(mem);
@@ -845,6 +939,18 @@ Result<std::unique_ptr<GroupMember>> GroupMember::join(net::Machine& machine,
   }
   if (!installed) {
     return Status::error(Errc::unreachable, "no group answered join");
+  }
+  // Phase 2: several groups may have answered the broadcast; tell the one
+  // we actually installed, so only it sequences our membership. Lost
+  // confirms degrade safely: we never become a member, get no heartbeats,
+  // fail within miss_limit beats and the application re-joins.
+  {
+    Writer c;
+    c.u8(static_cast<std::uint8_t>(WireType::join_confirm));
+    c.u64(ctx->gid);
+    c.u16(ctx->me.v);
+    c.u64(nonce);
+    ctx->send_pkt(ctx->sequencer, c.take(), false);
   }
   machine.spawn("group.kernel", [ctx] { ctx->kernel_main(); });
   LOG_INFO << machine.name() << " joined group " << ctx->cfg.port.v
@@ -883,6 +989,7 @@ Status GroupMember::send_to_group(Buffer payload) {
       c.stash_bb(c.me, msgid, payload);
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireType::bb_data));
+      w.u64(c.gid);
       w.u32(c.incarnation);
       w.u16(c.me.v);
       w.u64(msgid);
@@ -891,6 +998,7 @@ Status GroupMember::send_to_group(Buffer payload) {
     } else {
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireType::req));
+      w.u64(c.gid);
       w.u32(c.incarnation);
       w.u16(c.me.v);
       w.u64(msgid);
@@ -994,6 +1102,7 @@ Status GroupMember::coordinate_reset(sim::Time deadline) {
 
   Writer w;
   w.u8(static_cast<std::uint8_t>(WireType::invite));
+  w.u64(c.gid);
   w.u32(c.my_attempt);
   w.u16(c.me.v);
   c.multicast_pkt(c.cfg.universe, w.take(), false);
@@ -1021,6 +1130,7 @@ Status GroupMember::coordinate_reset(sim::Time deadline) {
   if (target > c.watermark() && source != c.me) {
     Writer rr;
     rr.u8(static_cast<std::uint8_t>(WireType::retrans_req));
+    rr.u64(c.gid);
     rr.u64(c.next_buffer);
     c.send_pkt(source, rr.take(), false);
     const sim::Time sync_end = std::min(deadline, c.now() + sim::msec(50));
@@ -1054,6 +1164,7 @@ Status GroupMember::coordinate_reset(sim::Time deadline) {
 
   Writer ng;
   ng.u8(static_cast<std::uint8_t>(WireType::newgroup));
+  ng.u64(c.gid);
   ng.u32(c.incarnation);
   ng.u16(c.me.v);
   ng.u16(static_cast<std::uint16_t>(c.members.size()));
@@ -1078,6 +1189,7 @@ Status GroupMember::leave(sim::Duration timeout) {
   } else {
     Writer w;
     w.u8(static_cast<std::uint8_t>(WireType::leave_req));
+    w.u64(c.gid);
     w.u32(c.incarnation);
     w.u16(c.me.v);
     c.send_pkt(c.sequencer, w.take(), false);

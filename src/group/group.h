@@ -83,6 +83,13 @@ struct GroupConfig {
   sim::Duration send_retry = sim::msec(80);
   int send_retries = 4;
   std::size_t history_limit = 8192;
+  /// First sequence number a freshly *created* group assigns, minus one.
+  /// An application that survives a total group collapse passes its own
+  /// recovery sequence number here so the replacement group continues the
+  /// old numbering instead of restarting at 1 — members that kept state
+  /// from the previous lineage would otherwise discard the new records as
+  /// already applied. Ignored on join (the joiner adopts the group's).
+  std::uint64_t initial_seqno = 0;
 };
 
 /// Snapshot returned by GetInfoGroup.

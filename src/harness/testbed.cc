@@ -50,6 +50,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
   sim_ = std::make_unique<sim::Simulator>(opts.seed);
   net::NetConfig net_cfg;
   net_cfg.segments = opts.network_segments;
+  net_cfg.drop_prob = opts.drop_prob;
   cluster_ = std::make_unique<net::Cluster>(*sim_, net_cfg);
 
   int replicas = opts.replicas;
@@ -115,6 +116,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
         go.use_nvram = (opts.flavor == Flavor::group_nvram);
         go.nvram_bytes = opts.nvram_bytes;
         go.improved_recovery = opts.improved_recovery;
+        go.debug_skip_read_barrier = (i == opts.debug_stale_reads_server);
         dir::install_group_dir_server(dir_server(i), go);
       }
     }
@@ -124,6 +126,14 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
   for (int i = 0; i < opts.clients; ++i) {
     clients_.push_back(&cluster_->add_machine("cli" + std::to_string(i)));
   }
+}
+
+net::Port Testbed::admin_port(int i) const {
+  const bool rpc =
+      opts_.flavor == Flavor::rpc || opts_.flavor == Flavor::rpc_nvram;
+  const net::Port base = rpc ? net::Port{2100} : kAdminBase;
+  return net::Port{base.v +
+                   dir_servers_[static_cast<std::size_t>(i)]->id().v};
 }
 
 bool Testbed::wait_ready(sim::Duration limit) {

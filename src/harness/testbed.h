@@ -35,6 +35,11 @@ struct TestbedOptions {
   int replicas = 0;  // 0 => flavor default (3 group / 2 rpc / 1 nfs)
   std::size_t nvram_bytes = 24 * 1024;
   int network_segments = 1;  // >1: redundant Ethernets (paper Sec. 2)
+  double drop_prob = 0.0;    // baseline packet-loss probability
+  /// Fault injection for the simfuzz harness: when >= 0, the group dir
+  /// server with this index serves reads without the buffered-messages
+  /// barrier (GroupDirOptions::debug_skip_read_barrier).
+  int debug_stale_reads_server = -1;
 };
 
 /// A fully-wired simulated deployment. Owns the Simulator; build one per
@@ -57,6 +62,10 @@ class Testbed {
   }
 
   [[nodiscard]] net::Port dir_port() const { return dir_port_; }
+  /// Admin/peer port of directory server `i` (recovery RPCs for group
+  /// flavors, intent/resync for rpc flavors); tools use it to fetch replica
+  /// state. Not meaningful for nfs.
+  [[nodiscard]] net::Port admin_port(int i) const;
   /// A file server usable by the tmp-file workload (bullet protocol):
   /// bullet server 0 for Amoeba flavors, the NFS file endpoint for nfs.
   [[nodiscard]] net::Port file_port() const { return file_port_; }

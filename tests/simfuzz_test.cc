@@ -1,0 +1,219 @@
+// The checker checked: unit tests of the linearizability checker on
+// hand-built histories (including known-bad ones), short end-to-end fuzz
+// runs for every directory-service flavor — extending the chaos-style
+// consistency testing to the rpc and rpc_nvram flavors — and the
+// self-test that matters most for a testing tool: an injected stale-read
+// bug must be caught, and the failing schedule must shrink to a replayable
+// repro.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/simfuzz.h"
+
+namespace amoeba::check {
+namespace {
+
+constexpr std::uint32_t kDir = 5;
+
+/// An event with a definite response interval.
+Event ev(OpKind op, const std::string& name, Outcome out, sim::Time invoke,
+         sim::Time response) {
+  Event e;
+  e.client = 0;
+  e.op = op;
+  e.dir_obj = kDir;
+  e.name = name;
+  e.outcome = out;
+  e.errc = out == Outcome::ok         ? Errc::ok
+           : out == Outcome::negative ? Errc::not_found
+                                      : Errc::timeout;
+  e.invoke = invoke;
+  e.response = response;
+  return e;
+}
+
+Event ambiguous(OpKind op, const std::string& name, sim::Time invoke) {
+  Event e = ev(op, name, Outcome::ambiguous, invoke, sim::kTimeMax);
+  return e;
+}
+
+// -------------------------------------------------- checker, synthetic
+
+TEST(Linearize, CleanSequentialHistoryPasses) {
+  std::vector<Event> h = {
+      ev(OpKind::append_row, "k", Outcome::ok, 0, 10),
+      ev(OpKind::lookup, "k", Outcome::ok, 20, 30),
+      ev(OpKind::delete_row, "k", Outcome::ok, 40, 50),
+      ev(OpKind::lookup, "k", Outcome::negative, 60, 70),
+      ev(OpKind::append_row, "k", Outcome::ok, 80, 90),
+  };
+  CheckResult r = check_linearizable(h);
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.keys_checked, 1);
+  EXPECT_EQ(r.ops_checked, h.size());
+}
+
+TEST(Linearize, StaleReadIsAViolation) {
+  // The append was acknowledged before the lookup began, yet the lookup
+  // misses the row: no linearization order explains both.
+  std::vector<Event> h = {
+      ev(OpKind::append_row, "k", Outcome::ok, 0, 10),
+      ev(OpKind::lookup, "k", Outcome::negative, 20, 30),
+  };
+  CheckResult r = check_linearizable(h);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].dir_obj, kDir);
+  EXPECT_EQ(r.violations[0].name, "k");
+}
+
+TEST(Linearize, DoubleAcknowledgedAppendIsAViolation) {
+  // append requires the name absent; two sequential acknowledged appends
+  // with no delete between them mean one executed against lost state.
+  std::vector<Event> h = {
+      ev(OpKind::append_row, "k", Outcome::ok, 0, 10),
+      ev(OpKind::append_row, "k", Outcome::ok, 20, 30),
+  };
+  EXPECT_FALSE(check_linearizable(h).ok);
+}
+
+TEST(Linearize, ConcurrentReadMayLinearizeFirst) {
+  // The lookup overlaps the append, so "read then write" is a legal order.
+  std::vector<Event> h = {
+      ev(OpKind::append_row, "k", Outcome::ok, 0, 100),
+      ev(OpKind::lookup, "k", Outcome::negative, 10, 20),
+  };
+  EXPECT_TRUE(check_linearizable(h).ok);
+}
+
+TEST(Linearize, AmbiguousOpsMayApplyOrNot) {
+  // A timed-out append may have happened (lookup sees it) ...
+  std::vector<Event> seen = {
+      ambiguous(OpKind::append_row, "k", 0),
+      ev(OpKind::lookup, "k", Outcome::ok, 50, 60),
+  };
+  EXPECT_TRUE(check_linearizable(seen).ok) << "maybe-applied must be allowed";
+  // ... or not have happened (lookup misses it). Both are linearizable.
+  std::vector<Event> unseen = {
+      ambiguous(OpKind::append_row, "k", 0),
+      ev(OpKind::lookup, "k", Outcome::negative, 50, 60),
+  };
+  EXPECT_TRUE(check_linearizable(unseen).ok) << "never-applied must be allowed";
+}
+
+TEST(Linearize, AmbiguousCannotExplainTimeTravel) {
+  // The ambiguous append is invoked only after the successful lookup
+  // responded, so it cannot justify the earlier read seeing the row.
+  std::vector<Event> h = {
+      ev(OpKind::lookup, "k", Outcome::ok, 0, 10),
+      ambiguous(OpKind::append_row, "k", 20),
+  };
+  EXPECT_FALSE(check_linearizable(h).ok);
+}
+
+TEST(Linearize, DirectoryExistenceIsAKey) {
+  std::vector<Event> good = {
+      ev(OpKind::create_dir, "", Outcome::ok, 0, 10),
+      ev(OpKind::delete_dir, "", Outcome::ok, 20, 30),
+      ev(OpKind::create_dir, "", Outcome::ok, 40, 50),
+  };
+  EXPECT_TRUE(check_linearizable(good).ok);
+  std::vector<Event> bad = {
+      ev(OpKind::create_dir, "", Outcome::ok, 0, 10),
+      ev(OpKind::create_dir, "", Outcome::ok, 20, 30),
+  };
+  EXPECT_FALSE(check_linearizable(bad).ok);
+}
+
+TEST(Linearize, ListingContributesPerKeyReads) {
+  Event listing = ev(OpKind::list_dir, "", Outcome::ok, 20, 30);
+  listing.listing = {};  // row "k" missing although its append committed
+  std::vector<Event> h = {
+      ev(OpKind::append_row, "k", Outcome::ok, 0, 10),
+      listing,
+  };
+  EXPECT_FALSE(check_linearizable(h).ok);
+
+  listing.listing = {"k"};
+  std::vector<Event> ok_h = {
+      ev(OpKind::append_row, "k", Outcome::ok, 0, 10),
+      listing,
+  };
+  EXPECT_TRUE(check_linearizable(ok_h).ok);
+}
+
+TEST(Linearize, UnknownTargetsAreIgnored) {
+  Event e = ev(OpKind::append_row, "k", Outcome::ok, 0, 10);
+  e.dir_obj = 0;  // the client never learned which directory this hit
+  Event e2 = ev(OpKind::append_row, "k", Outcome::ok, 20, 30);
+  e2.dir_obj = 0;
+  CheckResult r = check_linearizable({e, e2});
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.ops_checked, 0u);
+}
+
+TEST(Linearize, EmptyHistoryPasses) {
+  CheckResult r = check_linearizable({});
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.keys_checked, 0);
+}
+
+// -------------------------------------------------- end-to-end fuzz runs
+
+FuzzReport short_fuzz(harness::Flavor flavor) {
+  FuzzOptions opts;
+  opts.flavor = flavor;
+  opts.seed = 3;  // any seed; 1..50 are covered by the nightly sweep
+  FuzzReport r = run_one(opts);
+  EXPECT_TRUE(r.ok) << flavor_token(flavor) << ": " << r.failure;
+  EXPECT_TRUE(r.lin.ok) << r.lin.summary();
+  EXPECT_TRUE(r.replicas_agree);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_GT(r.ops_ok, 0);
+  EXPECT_GT(r.wire_packets, 0u);
+  return r;
+}
+
+TEST(SimFuzz, GroupFlavorPasses) { short_fuzz(harness::Flavor::group); }
+TEST(SimFuzz, GroupNvramFlavorPasses) {
+  short_fuzz(harness::Flavor::group_nvram);
+}
+TEST(SimFuzz, RpcFlavorPasses) { short_fuzz(harness::Flavor::rpc); }
+TEST(SimFuzz, RpcNvramFlavorPasses) { short_fuzz(harness::Flavor::rpc_nvram); }
+TEST(SimFuzz, NfsFlavorPasses) { short_fuzz(harness::Flavor::nfs); }
+
+TEST(SimFuzz, InjectedStaleReadsAreCaughtAndShrink) {
+  FuzzOptions opts;
+  opts.flavor = harness::Flavor::group;
+  opts.seed = 2;
+  opts.inject_stale_reads = true;
+  FuzzReport r = run_one(opts);
+  ASSERT_FALSE(r.ok) << "the checker missed a deliberately injected bug";
+  EXPECT_FALSE(r.lin.ok);
+  EXPECT_FALSE(r.lin.violations.empty());
+
+  std::vector<FaultStep> minimal = shrink(opts, r, /*max_runs=*/8);
+  EXPECT_LE(minimal.size(), r.schedule_used.size());
+  std::string cmd = repro_command(opts, minimal);
+  EXPECT_NE(cmd.find("--flavor group"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--inject-bug"), std::string::npos) << cmd;
+}
+
+TEST(SimFuzz, FlavorTokensRoundTrip) {
+  for (harness::Flavor f :
+       {harness::Flavor::group, harness::Flavor::group_nvram,
+        harness::Flavor::rpc, harness::Flavor::rpc_nvram,
+        harness::Flavor::nfs}) {
+    auto back = parse_flavor(flavor_token(f));
+    ASSERT_TRUE(back.is_ok()) << flavor_token(f);
+    EXPECT_EQ(*back, f);
+  }
+  EXPECT_FALSE(parse_flavor("bogus").is_ok());
+}
+
+}  // namespace
+}  // namespace amoeba::check

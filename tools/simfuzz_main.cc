@@ -1,0 +1,212 @@
+// simfuzz: deterministic simulation fuzzer for the directory services.
+//
+// Sweeps seeds across directory-service flavors; each seed drives one
+// deterministic simulation in which recording clients hammer the service
+// while a seed-derived nemesis schedule injects crashes, partitions and
+// packet loss. After the run the recorded history must be linearizable and
+// all replicas must agree. On failure the schedule is shrunk to a minimal
+// reproducer and the exact re-run command is printed.
+//
+//   simfuzz --seeds 50 --flavor all          # sweep 50 seeds, every flavor
+//   simfuzz --flavor group --seed 42         # one specific run
+//   simfuzz --flavor group --seed 42 --schedule c1/800/500,l0.10/900/400
+//                                            # exact replay of a schedule
+//   simfuzz --flavor group --seeds 20 --inject-bug   # checker self-test
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/simfuzz.h"
+#include "common/log.h"
+
+namespace {
+
+using namespace amoeba;
+
+struct CliOptions {
+  std::vector<harness::Flavor> flavors = {harness::Flavor::group};
+  std::uint64_t seeds = 10;      // sweep width
+  std::uint64_t seed_base = 1;   // first seed of the sweep
+  bool single_seed = false;      // --seed: run exactly one seed
+  std::uint64_t seed = 1;
+  int clients = 3;
+  int keys = 8;
+  int steps = 6;
+  bool inject_bug = false;
+  std::string schedule;
+  int shrink_runs = 48;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--flavor NAME|all] [--seeds N] [--seed-base B] [--seed S]\n"
+      "          [--clients C] [--keys K] [--steps S] [--schedule STR]\n"
+      "          [--inject-bug] [--shrink-runs N]\n"
+      "flavors: group group_nvram rpc rpc_nvram nfs all\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, CliOptions& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (a == "--flavor") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "all") == 0) {
+        cli.flavors = {harness::Flavor::group, harness::Flavor::group_nvram,
+                       harness::Flavor::rpc, harness::Flavor::rpc_nvram,
+                       harness::Flavor::nfs};
+      } else {
+        auto f = check::parse_flavor(v);
+        if (!f.is_ok()) {
+          std::fprintf(stderr, "%s\n", f.status().message().c_str());
+          return false;
+        }
+        cli.flavors = {*f};
+      }
+    } else if (a == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.seeds = std::strtoull(v, nullptr, 10);
+      if (cli.seeds == 0) {
+        std::fprintf(stderr, "--seeds must be at least 1\n");
+        return false;
+      }
+    } else if (a == "--seed-base") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.seed_base = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.seed = std::strtoull(v, nullptr, 10);
+      cli.single_seed = true;
+    } else if (a == "--clients") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.clients = std::atoi(v);
+    } else if (a == "--keys") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.keys = std::atoi(v);
+    } else if (a == "--steps" || a == "--rounds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.steps = std::atoi(v);
+    } else if (a == "--schedule") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.schedule = v;
+    } else if (a == "--log") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string lvl = v;
+      log::set_level(lvl == "trace"  ? log::Level::trace
+                     : lvl == "debug" ? log::Level::debug
+                     : lvl == "info"  ? log::Level::info
+                                      : log::Level::warn);
+    } else if (a == "--inject-bug") {
+      cli.inject_bug = true;
+    } else if (a == "--shrink-runs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.shrink_runs = std::atoi(v);
+    } else {
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Run one (flavor, seed); on failure shrink and print the reproducer.
+/// Returns true when the run passed.
+bool run_and_report(const CliOptions& cli, harness::Flavor flavor,
+                    std::uint64_t seed) {
+  check::FuzzOptions o;
+  o.flavor = flavor;
+  o.seed = seed;
+  o.clients = cli.clients;
+  o.keys = cli.keys;
+  o.steps = cli.steps;
+  o.inject_stale_reads = cli.inject_bug;
+  if (!cli.schedule.empty()) {
+    auto sched = check::decode_schedule(cli.schedule);
+    if (!sched.is_ok()) {
+      std::fprintf(stderr, "%s\n", sched.status().message().c_str());
+      return false;
+    }
+    o.schedule = *sched;
+  }
+
+  check::FuzzReport r = check::run_one(o);
+  std::printf("%-12s seed=%-6llu events=%-5zu ok=%d neg=%d amb=%d "
+              "keys=%d schedule=%s %s\n",
+              check::flavor_token(flavor),
+              static_cast<unsigned long long>(seed), r.events, r.ops_ok,
+              r.ops_negative, r.ops_ambiguous, r.lin.keys_checked,
+              check::encode_schedule(r.schedule_used).c_str(),
+              r.ok ? "PASS" : "FAIL");
+  std::fflush(stdout);
+  if (r.ok) return true;
+
+  std::printf("\nFAILURE: %s\n", r.failure.c_str());
+  for (const auto& v : r.lin.violations) {
+    std::printf("history of obj %u '%s':\n", v.dir_obj, v.name.c_str());
+    for (const auto& ev : r.history) {
+      const bool dir_level = ev.op == check::OpKind::create_dir ||
+                             ev.op == check::OpKind::delete_dir;
+      if (ev.dir_obj != v.dir_obj) continue;
+      if (!v.name.empty() && (dir_level || ev.name != v.name)) continue;
+      if (v.name.empty() && !dir_level) continue;
+      std::printf("  cli%-2d %-10s %-9s %-12s [%lld, %lld]\n", ev.client,
+                  check::op_kind_name(ev.op),
+                  ev.outcome == check::Outcome::ok        ? "ok"
+                  : ev.outcome == check::Outcome::negative ? "negative"
+                                                           : "ambiguous",
+                  std::string(errc_name(ev.errc)).c_str(),
+                  static_cast<long long>(ev.invoke),
+                  static_cast<long long>(ev.response));
+    }
+  }
+  std::printf("shrinking schedule (%zu steps, up to %d re-runs)...\n",
+              r.schedule_used.size(), cli.shrink_runs);
+  std::vector<check::FaultStep> minimal =
+      check::shrink(o, r, cli.shrink_runs);
+  std::printf("minimal failing schedule: %s\n",
+              minimal.empty() ? "<none - fails without faults>"
+                              : check::encode_schedule(minimal).c_str());
+  std::printf("reproduce with:\n  %s\n",
+              check::repro_command(o, minimal).c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) return 2;
+
+  int failures = 0;
+  for (harness::Flavor flavor : cli.flavors) {
+    if (cli.single_seed) {
+      if (!run_and_report(cli, flavor, cli.seed)) failures++;
+    } else {
+      for (std::uint64_t s = 0; s < cli.seeds; ++s) {
+        if (!run_and_report(cli, flavor, cli.seed_base + s)) {
+          failures++;
+          break;  // first failure per flavor is the interesting one
+        }
+      }
+    }
+  }
+  if (failures == 0) std::printf("all runs passed\n");
+  return failures == 0 ? 0 : 1;
+}
