@@ -7,30 +7,65 @@
 
 namespace amoeba::check {
 
+namespace {
+
+/// Crash `m` if it is up (idempotent across overlapping steps).
+void crash_machine(harness::Testbed& bed, net::Machine& m) {
+  if (m.up()) bed.cluster().crash(m.id());
+}
+
+void restart_machine(harness::Testbed& bed, net::Machine& m) {
+  if (!m.up()) bed.cluster().restart(m.id());
+}
+
+}  // namespace
+
 NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
-                               int steps) {
+                               int steps, bool legacy_only) {
   NemesisOptions o;
   o.steps = steps;
   o.nservers = nservers;
+  const bool nvram = flavor == harness::Flavor::group_nvram ||
+                     flavor == harness::Flavor::rpc_nvram;
+  o.allow_torn_nvram = nvram;
   switch (flavor) {
     case harness::Flavor::group:
     case harness::Flavor::group_nvram:
-      break;  // crashes + partitions + loss
+      // Full fault model (paper Sec. 2-3): crashes, partitions, loss,
+      // duplicate/reordered delivery, disk faults, storage-machine crashes
+      // and crashes during the recovery window itself.
+      break;
     case harness::Flavor::rpc:
     case harness::Flavor::rpc_nvram:
-      // Crash-only: the RPC service's supported fault model (Sec. 1).
-      // Partitions — and sustained loss, which times out the peer link on
-      // both sides at once — let both servers commit solo writes, the
-      // by-design divergence that motivated the group service.
+      // Crash-only network fault model (Sec. 1): partitions — and
+      // sustained loss, which times out the peer link on both sides at
+      // once — let both servers commit solo writes, the by-design
+      // divergence that motivated the group service. Storage faults and
+      // duplicate/reordered delivery are fair game.
       o.allow_partition = false;
       o.allow_loss = false;
+      o.allow_storage_crash = false;
+      o.allow_crash_recovering = false;
       break;
     case harness::Flavor::nfs:
       // Single unreplicated server with no boot-time state reload: a crash
-      // legitimately loses acknowledged updates, so only inject loss.
+      // legitimately loses acknowledged updates and there is no separate
+      // storage machine, so only inject loss and duplicate delivery.
       o.allow_crash = false;
       o.allow_partition = false;
+      o.allow_reorder = false;
+      o.allow_disk_fault = false;
+      o.allow_storage_crash = false;
+      o.allow_crash_recovering = false;
       break;
+  }
+  if (legacy_only) {
+    o.allow_dup = false;
+    o.allow_reorder = false;
+    o.allow_disk_fault = false;
+    o.allow_torn_nvram = false;
+    o.allow_storage_crash = false;
+    o.allow_crash_recovering = false;
   }
   return o;
 }
@@ -42,6 +77,17 @@ std::vector<FaultStep> make_schedule(std::uint64_t seed,
   if (opts.allow_crash) kinds.push_back(FaultStep::Kind::crash);
   if (opts.allow_partition) kinds.push_back(FaultStep::Kind::partition);
   if (opts.allow_loss) kinds.push_back(FaultStep::Kind::loss);
+  if (opts.allow_dup) kinds.push_back(FaultStep::Kind::dup);
+  if (opts.allow_reorder) kinds.push_back(FaultStep::Kind::reorder);
+  if (opts.allow_disk_fault) kinds.push_back(FaultStep::Kind::disk_fault);
+  if (opts.allow_torn_nvram) kinds.push_back(FaultStep::Kind::torn_nvram);
+  if (opts.allow_storage_crash) {
+    kinds.push_back(FaultStep::Kind::storage_crash);
+  }
+  if (opts.allow_crash_recovering) {
+    kinds.push_back(FaultStep::Kind::crash_recovering);
+    kinds.push_back(FaultStep::Kind::crash_recovering_storage);
+  }
   kinds.push_back(FaultStep::Kind::calm);
 
   std::vector<FaultStep> steps;
@@ -51,7 +97,18 @@ std::vector<FaultStep> make_schedule(std::uint64_t seed,
     s.kind = kinds[rng.below(kinds.size())];
     s.victim = static_cast<int>(rng.below(
         static_cast<std::uint64_t>(std::max(1, opts.nservers))));
-    s.drop_prob = 0.02 + 0.02 * static_cast<double>(rng.below(12));  // ≤ 0.24
+    switch (s.kind) {
+      case FaultStep::Kind::dup:
+      case FaultStep::Kind::reorder:
+        s.prob = 0.05 + 0.05 * static_cast<double>(rng.below(6));  // ≤ 0.30
+        break;
+      case FaultStep::Kind::disk_fault:
+        s.prob = 0.05 + 0.05 * static_cast<double>(rng.below(4));  // ≤ 0.20
+        break;
+      default:
+        s.prob = 0.02 + 0.02 * static_cast<double>(rng.below(12));  // ≤ 0.24
+        break;
+    }
     s.fault = sim::msec(static_cast<std::int64_t>(400 + rng.below(1800)));
     s.settle = sim::msec(static_cast<std::int64_t>(300 + rng.below(1200)));
     steps.push_back(s);
@@ -76,7 +133,35 @@ std::string encode_schedule(const std::vector<FaultStep>& steps) {
                       settle_ms);
         break;
       case FaultStep::Kind::loss:
-        std::snprintf(buf, sizeof buf, "l%.2f/%ld/%ld", s.drop_prob, fault_ms,
+        std::snprintf(buf, sizeof buf, "l%.2f/%ld/%ld", s.prob, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::dup:
+        std::snprintf(buf, sizeof buf, "d%.2f/%ld/%ld", s.prob, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::reorder:
+        std::snprintf(buf, sizeof buf, "r%.2f/%ld/%ld", s.prob, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::disk_fault:
+        std::snprintf(buf, sizeof buf, "f%d:%.2f/%ld/%ld", s.victim, s.prob,
+                      fault_ms, settle_ms);
+        break;
+      case FaultStep::Kind::torn_nvram:
+        std::snprintf(buf, sizeof buf, "t%d/%ld/%ld", s.victim, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::storage_crash:
+        std::snprintf(buf, sizeof buf, "s%d/%ld/%ld", s.victim, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::crash_recovering:
+        std::snprintf(buf, sizeof buf, "j%d/%ld/%ld", s.victim, fault_ms,
+                      settle_ms);
+        break;
+      case FaultStep::Kind::crash_recovering_storage:
+        std::snprintf(buf, sizeof buf, "J%d/%ld/%ld", s.victim, fault_ms,
                       settle_ms);
         break;
       case FaultStep::Kind::calm:
@@ -100,9 +185,15 @@ Result<std::vector<FaultStep>> decode_schedule(const std::string& text) {
     FaultStep s;
     char kind = 0;
     double arg = 0;
+    int victim = 0;
     long fault_ms = 0, settle_ms = 0;
-    if (std::sscanf(tok.c_str(), "%c%lf/%ld/%ld", &kind, &arg, &fault_ms,
+    if (std::sscanf(tok.c_str(), "f%d:%lf/%ld/%ld", &victim, &arg, &fault_ms,
                     &settle_ms) == 4) {
+      s.kind = FaultStep::Kind::disk_fault;
+      s.victim = victim;
+      s.prob = arg;
+    } else if (std::sscanf(tok.c_str(), "%c%lf/%ld/%ld", &kind, &arg,
+                           &fault_ms, &settle_ms) == 4) {
       switch (kind) {
         case 'c':
           s.kind = FaultStep::Kind::crash;
@@ -114,7 +205,31 @@ Result<std::vector<FaultStep>> decode_schedule(const std::string& text) {
           break;
         case 'l':
           s.kind = FaultStep::Kind::loss;
-          s.drop_prob = arg;
+          s.prob = arg;
+          break;
+        case 'd':
+          s.kind = FaultStep::Kind::dup;
+          s.prob = arg;
+          break;
+        case 'r':
+          s.kind = FaultStep::Kind::reorder;
+          s.prob = arg;
+          break;
+        case 't':
+          s.kind = FaultStep::Kind::torn_nvram;
+          s.victim = static_cast<int>(arg);
+          break;
+        case 's':
+          s.kind = FaultStep::Kind::storage_crash;
+          s.victim = static_cast<int>(arg);
+          break;
+        case 'j':
+          s.kind = FaultStep::Kind::crash_recovering;
+          s.victim = static_cast<int>(arg);
+          break;
+        case 'J':
+          s.kind = FaultStep::Kind::crash_recovering_storage;
+          s.victim = static_cast<int>(arg);
           break;
         default:
           return Status::error(Errc::bad_request,
@@ -137,15 +252,17 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
   sim::Simulator& sim = bed.sim();
   const int n = bed.num_dir_servers();
   const int victim = n > 0 ? step.victim % n : 0;
+  const int nsto = bed.num_storage();
+  const int sto_victim = nsto > 0 ? step.victim % nsto : -1;
   switch (step.kind) {
     case FaultStep::Kind::calm:
       sim.run_for(step.fault);
       break;
     case FaultStep::Kind::crash: {
       net::Machine& m = bed.dir_server(victim);
-      if (m.up()) bed.cluster().crash(m.id());
+      crash_machine(bed, m);
       sim.run_for(step.fault);
-      if (!m.up()) bed.cluster().restart(m.id());
+      restart_machine(bed, m);
       break;
     }
     case FaultStep::Kind::partition: {
@@ -169,10 +286,98 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
     }
     case FaultStep::Kind::loss: {
       const double base = bed.options().drop_prob;
-      bed.cluster().net().set_drop_prob(
-          std::min(0.9, base + step.drop_prob));
+      bed.cluster().net().set_drop_prob(std::min(0.9, base + step.prob));
       sim.run_for(step.fault);
       bed.cluster().net().set_drop_prob(base);
+      break;
+    }
+    case FaultStep::Kind::dup: {
+      bed.cluster().net().set_dup_prob(std::min(0.9, step.prob));
+      sim.run_for(step.fault);
+      bed.cluster().net().set_dup_prob(0.0);
+      break;
+    }
+    case FaultStep::Kind::reorder: {
+      bed.cluster().net().set_reorder_prob(std::min(0.9, step.prob));
+      sim.run_for(step.fault);
+      bed.cluster().net().set_reorder_prob(0.0);
+      break;
+    }
+    case FaultStep::Kind::disk_fault: {
+      if (sto_victim < 0) {
+        sim.run_for(step.fault);
+        break;
+      }
+      disk::VirtualDisk& d = bed.vdisk(sto_victim);
+      d.set_fault_prob(step.prob);
+      sim.run_for(step.fault);
+      d.set_fault_prob(0.0);
+      break;
+    }
+    case FaultStep::Kind::torn_nvram: {
+      // Crash the victim while torn appends are armed: an append in flight
+      // at the kill instant leaves a partial tail record for the reboot to
+      // cope with.
+      net::Machine& m = bed.dir_server(victim);
+      nvram::Nvram* nv = bed.nvram_of(victim);
+      if (nv != nullptr) nv->set_torn_appends(true);
+      crash_machine(bed, m);
+      if (nv != nullptr) nv->set_torn_appends(false);
+      sim.run_for(step.fault);
+      restart_machine(bed, m);
+      break;
+    }
+    case FaultStep::Kind::storage_crash: {
+      if (sto_victim < 0) {
+        sim.run_for(step.fault);
+        break;
+      }
+      // Torn writes armed for the kill window: a block write in flight
+      // persists only a prefix.
+      net::Machine& s = bed.storage(sto_victim);
+      disk::VirtualDisk& d = bed.vdisk(sto_victim);
+      d.set_torn_writes(true);
+      crash_machine(bed, s);
+      d.set_torn_writes(false);
+      sim.run_for(step.fault);
+      restart_machine(bed, s);
+      break;
+    }
+    case FaultStep::Kind::crash_recovering: {
+      // The Sec. 3.2 headline scenario: a server dies again while it is
+      // still rejoining / state-transferring. The second kill lands
+      // `fault` after the restart, so different seeds hit different
+      // recovery phases (join, exchange, snapshot fetch, persist).
+      net::Machine& m = bed.dir_server(victim);
+      crash_machine(bed, m);
+      sim.run_for(sim::msec(200));
+      restart_machine(bed, m);
+      sim.run_for(step.fault);
+      crash_machine(bed, m);
+      sim.run_for(sim::msec(400));
+      restart_machine(bed, m);
+      break;
+    }
+    case FaultStep::Kind::crash_recovering_storage: {
+      // Crash the storage/Bullet machine under a directory server while
+      // that server is recovering: its snapshot install / persist path
+      // sees its own disk vanish mid-flight.
+      net::Machine& m = bed.dir_server(victim);
+      crash_machine(bed, m);
+      sim.run_for(sim::msec(200));
+      restart_machine(bed, m);
+      sim.run_for(step.fault / 2);
+      if (sto_victim >= 0) {
+        net::Machine& s = bed.storage(sto_victim);
+        disk::VirtualDisk& d = bed.vdisk(sto_victim);
+        d.set_torn_writes(true);
+        crash_machine(bed, s);
+        d.set_torn_writes(false);
+        sim.run_for(step.fault);
+        restart_machine(bed, s);
+      } else {
+        sim.run_for(step.fault);
+      }
       break;
     }
   }

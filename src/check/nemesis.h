@@ -1,15 +1,17 @@
 // Seed-driven fault-schedule ("nemesis") generation and execution.
 //
 // A schedule is a flat list of steps executed from test/scheduler context
-// against a Testbed: crash+restart one directory server, partition one
-// server (with its storage machine) away from the rest, inject
-// probabilistic packet loss for a while, or stay calm. Which fault kinds a
-// flavor supports follows its documented fault model: the group service
-// survives crashes and partitions (paper Sec. 2-3), the RPC service only
-// crashes (partitions make it diverge by design, Sec. 1), and the NFS
-// baseline survives nothing but lost packets.
+// against a Testbed. Which fault kinds a flavor supports follows its
+// documented fault model: the group service survives crashes and partitions
+// (paper Sec. 2-3), the RPC service only crashes (partitions make it
+// diverge by design, Sec. 1), and the NFS baseline survives nothing but
+// lost packets. On top of the network faults (crash / partition / loss /
+// duplicate / reordered delivery), the nemesis shakes the storage stack
+// (transient disk I/O errors, torn disk writes under a storage-machine
+// crash, torn NVRAM appends under a server crash) and the recovery window
+// itself (a second crash while a server is rejoining / state-transferring).
 //
-// Schedules encode to a compact string ("c1/800/500,p2/1200/300,...") so a
+// Schedules encode to a compact string ("c1/800/500,d0.10/900/400,...") so a
 // failing run can be shrunk and replayed exactly from the command line.
 #pragma once
 
@@ -23,10 +25,24 @@
 namespace amoeba::check {
 
 struct FaultStep {
-  enum class Kind : std::uint8_t { calm = 0, crash, partition, loss };
+  enum class Kind : std::uint8_t {
+    calm = 0,
+    crash,      // crash + restart one directory server
+    partition,  // isolate one server (with its storage) from the rest
+    loss,       // probabilistic packet loss for a while
+    dup,        // probabilistic duplicate packet delivery for a while
+    reorder,    // probabilistic reordered (delayed) delivery for a while
+    disk_fault, // transient I/O errors on the victim's storage disk
+    torn_nvram, // crash the victim mid NVRAM append (torn tail record)
+    storage_crash,     // crash the victim's storage machine (torn disk
+                       // writes enabled for the kill window), not the server
+    crash_recovering,  // crash victim, restart, crash again mid-recovery
+    crash_recovering_storage,  // crash victim, restart, then crash its
+                               // storage machine while it is recovering
+  };
   Kind kind = Kind::calm;
-  int victim = 0;          // directory-server index (crash / partition)
-  double drop_prob = 0.0;  // loss only
+  int victim = 0;          // directory-server / storage index
+  double prob = 0.0;       // loss / dup / reorder / disk_fault probability
   sim::Duration fault = sim::msec(800);   // how long the fault is active
   sim::Duration settle = sim::msec(500);  // quiet time after healing
 };
@@ -36,12 +52,19 @@ struct NemesisOptions {
   bool allow_crash = true;
   bool allow_partition = true;
   bool allow_loss = true;
+  bool allow_dup = true;
+  bool allow_reorder = true;
+  bool allow_disk_fault = true;
+  bool allow_torn_nvram = true;  // only drawn for the *_nvram flavors
+  bool allow_storage_crash = true;
+  bool allow_crash_recovering = true;
   int nservers = 3;
 };
 
-/// The fault kinds a flavor's documented fault model supports.
+/// The fault kinds a flavor's documented fault model supports. With
+/// `legacy_only`, restrict to the PR-1 kinds (crash/partition/loss).
 NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
-                               int steps);
+                               int steps, bool legacy_only = false);
 
 /// Deterministically generate a schedule from `seed`.
 std::vector<FaultStep> make_schedule(std::uint64_t seed,

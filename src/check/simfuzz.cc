@@ -21,8 +21,6 @@ using harness::Testbed;
 bool is_group(Flavor f) {
   return f == Flavor::group || f == Flavor::group_nvram;
 }
-bool is_rpc(Flavor f) { return f == Flavor::rpc || f == Flavor::rpc_nvram; }
-
 /// Replica state reduced to what must agree across replicas: object
 /// identity, secrets, seqnos and row layout. Bullet capabilities are
 /// excluded — each replica legitimately stores its copies under different
@@ -137,6 +135,7 @@ FuzzReport run_one(const FuzzOptions& opts) {
   if (opts.inject_stale_reads) {
     to.debug_stale_reads_server = static_cast<int>(opts.seed % 3);
   }
+  to.group_history_limit = opts.group_history_limit;
   Testbed bed(to);
   sim::Simulator& sim = bed.sim();
   const int nservers = bed.num_dir_servers();
@@ -144,7 +143,8 @@ FuzzReport run_one(const FuzzOptions& opts) {
   report.schedule_used =
       opts.schedule.empty()
           ? make_schedule(opts.seed,
-                          default_nemesis(opts.flavor, nservers, opts.steps))
+                          default_nemesis(opts.flavor, nservers, opts.steps,
+                                          opts.legacy_faults))
           : opts.schedule;
 
   if (!bed.wait_ready()) {
@@ -232,7 +232,15 @@ FuzzReport run_one(const FuzzOptions& opts) {
   stop = true;
   bed.cluster().heal();
   bed.cluster().net().set_drop_prob(bed.options().drop_prob);
+  bed.cluster().net().set_dup_prob(0.0);
+  bed.cluster().net().set_reorder_prob(0.0);
+  for (int i = 0; i < bed.num_storage(); ++i) {
+    bed.vdisk(i).set_fault_prob(0.0);
+    bed.vdisk(i).set_torn_writes(false);
+    if (!bed.storage(i).up()) bed.cluster().restart(bed.storage(i).id());
+  }
   for (int i = 0; i < nservers; ++i) {
+    if (nvram::Nvram* nv = bed.nvram_of(i)) nv->set_torn_appends(false);
     if (!bed.dir_server(i).up()) bed.cluster().restart(bed.dir_server(i).id());
   }
   for (int i = 0; i < 300; ++i) {
@@ -409,6 +417,7 @@ std::string repro_command(const FuzzOptions& opts,
                     std::to_string(opts.clients) + " --keys " +
                     std::to_string(opts.keys);
   if (opts.inject_stale_reads) cmd += " --inject-bug";
+  if (opts.legacy_faults) cmd += " --faults legacy";
   if (schedule.empty()) {
     cmd += " --steps 0";
   } else {

@@ -33,6 +33,13 @@ struct FuzzOptions {
   /// barrier (group flavors only). The checker must catch the resulting
   /// stale reads.
   bool inject_stale_reads = false;
+  /// Restrict the generated schedule to the original crash/partition/loss
+  /// kinds (CLI --faults legacy). Default: all kinds the flavor's fault
+  /// model admits.
+  bool legacy_faults = false;
+  /// When > 0, run the group flavors with a tiny group-history limit so
+  /// recovery races against history pruning (regression-test hook).
+  std::size_t group_history_limit = 0;
   std::vector<FaultStep> schedule;  // empty => make_schedule(seed)
   sim::Duration workload_tail = sim::sec(3);  // client time after the storm
 };

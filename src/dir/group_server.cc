@@ -289,6 +289,12 @@ void load_local_state(ServerCtx& ctx, Storage& st) {
 
   std::uint64_t nv_max = 0;
   if (ctx.nv != nullptr) {
+    // A crash mid-append leaves a torn tail record; drop it before replay.
+    const std::size_t torn = nvlog::truncate_torn(*ctx.nv);
+    if (torn > 0) {
+      LOG_WARN << ctx.machine.name() << " dropped " << torn
+               << " torn nvram tail record(s)";
+    }
     nvlog::replay(ctx.state, *ctx.nv);
     nv_max = nvlog::max_seqno(*ctx.nv);
   }
@@ -366,6 +372,15 @@ group::GroupConfig make_group_cfg(const ServerCtx& ctx) {
 /// begin.
 bool try_recover_once(ServerCtx& ctx, Storage& st) {
   sim::Simulator& sim = ctx.sim();
+
+  // A kernel that reported an unrepairable history gap must not be reused:
+  // its delivery cursor sits below everything any peer can retransmit.
+  // Drop it and rejoin from scratch (the join cutoff + snapshot fetch
+  // below covers the gap).
+  if (ctx.gm && ctx.gm->info().needs_state_transfer) {
+    (void)ctx.gm->leave(sim::msec(200));
+    ctx.gm.reset();
+  }
 
   // "re-join server group or create it". Creation is staggered by server
   // index: everyone first tries to join, but only the lowest index falls
@@ -481,11 +496,14 @@ bool try_recover_once(ServerCtx& ctx, Storage& st) {
       LOG_INFO << ctx.machine.name()
                << " recovery blocked: last-set not present (last=" << last
                << " newgroup=" << newgroup << ")";
-      (void)ctx.gm->leave(sim::msec(200));
-      ctx.gm.reset();
-      sim.sleep_for(ctx.opts.recovery_backoff +
-                    static_cast<sim::Duration>(sim.rng().below(
-                        static_cast<std::uint64_t>(ctx.opts.recovery_backoff))));
+      // Wait as a member: the paper blocks recovery until the servers that
+      // performed the last update are present. Leaving here instead would
+      // make every recovering server cycle join -> exchange -> leave, so
+      // that no exchange ever observes the full last-set in the view at
+      // once and the whole cluster livelocks with all servers recovering.
+      sim.sleep_for(sim::msec(40) + static_cast<sim::Duration>(sim.rng().below(
+                                        static_cast<std::uint64_t>(
+                                            sim::msec(40)))));
       return false;
     }
   }
@@ -614,6 +632,19 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
 
     auto res = ctx.gm->receive();
     if (!res.is_ok()) {
+      if (ctx.gm->info().needs_state_transfer) {
+        // Records we still need were pruned from every peer's history
+        // (gap note). A reset would rebuild the membership, but our kernel
+        // could never close the delivery gap — the new view's numbering
+        // starts past records we never saw. Rejoin fresh and fetch a
+        // snapshot instead.
+        LOG_INFO << ctx.machine.name()
+                 << " history gap unrepairable: rejoining with state transfer";
+        (void)ctx.gm->leave(sim::msec(200));
+        ctx.gm.reset();
+        ctx.in_recovery = true;
+        continue;
+      }
       // "rebuild majority of group (call ResetGroup)" — Fig. 5.
       Status rst = ctx.gm->reset_group(sim::sec(2));
       if (rst.is_ok() && ctx.majority()) {

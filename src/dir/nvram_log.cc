@@ -52,6 +52,26 @@ std::string request_row(const Buffer& request) {
   }
 }
 
+namespace {
+bool decodes(const Buffer& b) {
+  try {
+    (void)decode(b);
+    return true;
+  } catch (const DecodeError&) {
+    return false;
+  }
+}
+}  // namespace
+
+std::size_t truncate_torn(nvram::Nvram& nv) {
+  std::size_t dropped = 0;
+  while (!nv.records().empty() && !decodes(nv.records().back().data)) {
+    nv.cancel(nv.records().back().id);
+    ++dropped;
+  }
+  return dropped;
+}
+
 std::size_t try_cancel(nvram::Nvram& nv, const Buffer& request,
                        const DirState::ApplyEffect& effect) {
   auto op_res = peek_op(request);
@@ -62,6 +82,7 @@ std::size_t try_cancel(nvram::Nvram& nv, const Buffer& request,
     const std::string name = request_row(request);
     const auto& recs = nv.records();
     for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+      if (!decodes(it->data)) continue;  // torn tail: not cancellable
       Record d = decode(it->data);
       auto rop = peek_op(d.request);
       if (rop.is_ok() && *rop == DirOp::append_row &&
@@ -77,6 +98,7 @@ std::size_t try_cancel(nvram::Nvram& nv, const Buffer& request,
     const std::uint32_t obj = effect.deleted.front();
     bool born_in_nvram = false;
     for (const auto& rec : nv.records()) {
+      if (!decodes(rec.data)) continue;
       Record d = decode(rec.data);
       auto rop = peek_op(d.request);
       if (rop.is_ok() && *rop == DirOp::create_dir && d.objhint == obj) {
@@ -87,6 +109,7 @@ std::size_t try_cancel(nvram::Nvram& nv, const Buffer& request,
     if (!born_in_nvram) return 0;
     std::vector<std::uint64_t> to_cancel;
     for (const auto& rec : nv.records()) {
+      if (!decodes(rec.data)) continue;
       Record d = decode(rec.data);
       std::uint32_t target =
           d.objhint != 0 ? d.objhint : request_target(d.request);
@@ -101,7 +124,12 @@ std::size_t try_cancel(nvram::Nvram& nv, const Buffer& request,
 
 void replay(DirState& state, const nvram::Nvram& nv) {
   for (const auto& rec : nv.records()) {
-    Record d = decode(rec.data);
+    Record d;
+    try {
+      d = decode(rec.data);
+    } catch (const DecodeError&) {
+      break;  // torn tail record: the log cleanly ends here
+    }
     auto op = peek_op(d.request);
     if (!op.is_ok()) continue;
     if (*op == DirOp::create_dir) {
@@ -119,7 +147,11 @@ void replay(DirState& state, const nvram::Nvram& nv) {
 std::uint64_t max_seqno(const nvram::Nvram& nv) {
   std::uint64_t m = 0;
   for (const auto& rec : nv.records()) {
-    m = std::max(m, decode(rec.data).seqno);
+    try {
+      m = std::max(m, decode(rec.data).seqno);
+    } catch (const DecodeError&) {
+      break;  // torn tail record: the log cleanly ends here
+    }
   }
   return m;
 }

@@ -41,8 +41,14 @@ std::string request_row(const Buffer& request);
 std::size_t try_cancel(nvram::Nvram& nv, const Buffer& request,
                        const DirState::ApplyEffect& effect);
 
+/// A crash mid-append leaves a truncated tail record. Treat it as a clean
+/// log end: drop undecodable records from the tail. Servers call this at
+/// boot, before replay. Returns how many records were dropped.
+std::size_t truncate_torn(nvram::Nvram& nv);
+
 /// Replay the log on top of `state` (loaded from disk): records whose
-/// effects are already persisted are skipped via per-object seqnos.
+/// effects are already persisted are skipped via per-object seqnos. A
+/// record that fails to decode ends the replay (torn tail = clean log end).
 void replay(DirState& state, const nvram::Nvram& nv);
 
 /// Highest seqno recorded in the log (contributes to the recovery seqno).

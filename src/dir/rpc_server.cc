@@ -536,7 +536,13 @@ void load_and_resync(RpcServerCtx& ctx, Storage& st) {
 
   if (ctx.nv != nullptr) {
     // NVRAM mode: the log holds both our deferred copies and any acked
-    // intentions; replay it on top of the disk state.
+    // intentions; replay it on top of the disk state. A crash mid-append
+    // leaves a torn tail record; drop it before replay.
+    const std::size_t torn = nvlog::truncate_torn(*ctx.nv);
+    if (torn > 0) {
+      LOG_WARN << ctx.machine.name() << " dropped " << torn
+               << " torn nvram tail record(s)";
+    }
     nvlog::replay(ctx.state, *ctx.nv);
     ctx.last_seqno = std::max(ctx.last_seqno, nvlog::max_seqno(*ctx.nv));
   }

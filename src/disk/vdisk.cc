@@ -9,6 +9,10 @@ VirtualDisk::VirtualDisk(sim::Simulator& sim, std::string name, DiskConfig cfg)
       spindle_(sim, name + ".spindle"),
       blocks_(cfg.num_blocks) {}
 
+bool VirtualDisk::transient_fault() {
+  return fault_prob_ > 0 && sim_.rng().uniform() < fault_prob_;
+}
+
 Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   if (block >= cfg_.num_blocks) {
@@ -17,10 +21,31 @@ Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
   if (data.size() > kBlockSize) {
     return Status::error(Errc::io_error, "block too large");
   }
-  spindle_.use(cfg_.write_latency);
+  if (transient_fault()) {
+    return Status::error(Errc::io_error, "transient write error");
+  }
+  if (torn_writes_ && !data.empty()) {
+    try {
+      spindle_.use(cfg_.write_latency);
+    } catch (const sim::ProcessKilled&) {
+      // The machine died while the head was writing: a prefix of the new
+      // data is on the platter, the rest is whatever was there before the
+      // sector boundary — modelled as a strict prefix, which decoders must
+      // reject (and recovery must survive).
+      const auto keep = static_cast<std::size_t>(sim_.rng().below(data.size()));
+      blocks_[block] = Buffer(data.begin(),
+                              data.begin() + static_cast<std::ptrdiff_t>(keep));
+      ++torn_;
+      ++writes_;
+      throw;
+    }
+  } else {
+    spindle_.use(cfg_.write_latency);
+  }
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   // Commit point: after the latency, atomically. A killed writer never
-  // reaches this line, leaving the previous contents intact.
+  // reaches this line, leaving the previous contents intact (unless torn
+  // writes are enabled above).
   blocks_[block] = data;
   ++writes_;
   return Status::ok();

@@ -1,7 +1,10 @@
 // A simulated Wren-IV-class disk: a persistent array of fixed-size blocks
 // behind a FIFO spindle. Contents survive machine crashes (create it through
-// Machine::persistent). A block write is atomic: a process killed mid-write
-// leaves the old contents (the paper assumes clean failures).
+// Machine::persistent). By default a block write is atomic: a process killed
+// mid-write leaves the old contents (the paper assumes clean failures).
+// Fault injection can weaken both guarantees: transient per-op I/O errors
+// (set_fault_prob) and torn writes, where a writer killed mid-transfer
+// leaves a prefix of the new data on the platter (set_torn_writes).
 #pragma once
 
 #include <cstdint>
@@ -56,6 +59,18 @@ class VirtualDisk {
   void fail_permanently() { failed_ = true; }
   [[nodiscard]] bool failed() const { return failed_; }
 
+  /// Fault injection: each op independently fails with io_error with this
+  /// probability (transient media errors / controller resets). Draws from
+  /// the simulator's RNG, so runs stay deterministic.
+  void set_fault_prob(double p) { fault_prob_ = p; }
+  [[nodiscard]] double fault_prob() const { return fault_prob_; }
+
+  /// Fault injection: when enabled, a writer killed mid-transfer (machine
+  /// crash during write_block) leaves an RNG-chosen prefix of the new data
+  /// in the block — a torn write — instead of the old contents.
+  void set_torn_writes(bool on) { torn_writes_ = on; }
+  [[nodiscard]] std::uint64_t torn_write_count() const { return torn_; }
+
   /// Instant, non-time-consuming access for recovery bootstrap inspection
   /// in tests (not used by services).
   [[nodiscard]] std::optional<Buffer> peek(std::uint32_t block) const;
@@ -69,11 +84,18 @@ class VirtualDisk {
   }
 
  private:
+  /// io_error with probability fault_prob_ (deterministic RNG draw). Only
+  /// draws when a fault window is open, so fault-free runs consume no RNG.
+  [[nodiscard]] bool transient_fault();
+
   sim::Simulator& sim_;
   DiskConfig cfg_;
   sim::FifoResource spindle_;
   std::vector<std::optional<Buffer>> blocks_;
   bool failed_ = false;
+  double fault_prob_ = 0.0;
+  bool torn_writes_ = false;
+  std::uint64_t torn_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
 };

@@ -28,6 +28,10 @@ enum class WireType : std::uint8_t {
   vote,         // member -> coordinator
   newgroup,     // coordinator -> new members
   stale_note,   // anyone -> stale sender: your incarnation is old
+  gap_note,     // retrans server -> requester: range pruned from history;
+                // carries the lowest seqno still available. The requester
+                // can never repair the gap by retransmission and must do an
+                // app-level state transfer (rejoin).
 };
 
 struct AcceptRecord {
@@ -127,6 +131,10 @@ struct GroupMember::Ctx {
   sim::WaitQueue reset_wq;
 
   bool stopping = false;
+  /// Set when a peer reported (gap_note) that records we still need were
+  /// pruned from history: retransmission can never close our gap and the
+  /// application must rejoin with an explicit state transfer.
+  bool needs_state_transfer = false;
   std::optional<net::Endpoint> endpoint;
   GroupStats stats;
 
@@ -408,10 +416,27 @@ void GroupMember::Ctx::complete_send(std::uint64_t msgid, Status st) {
 void GroupMember::Ctx::serve_retrans(MachineId who, std::uint64_t from) {
   // Serve from local history; any member can answer (used both for normal
   // gap repair and for coordinator sync during reset).
+  if (from < next_buffer) {
+    const std::uint64_t oldest =
+        history.empty() ? next_buffer : history.begin()->first;
+    if (from < oldest) {
+      // The prefix the requester needs was pruned by the history GC. No
+      // amount of retrying can close its gap — every record we could send
+      // sits above it and would only pile up out of order. Say so
+      // explicitly, so the requester escalates to an app-level state
+      // transfer instead of retrying forever.
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(WireType::gap_note));
+      w.u64(gid);
+      w.u64(oldest);
+      send_pkt(who, w.take(), false);
+      return;
+    }
+  }
   for (std::uint64_t s = from; s < next_buffer; ++s) {
     auto it = history.find(s);
-    if (it == history.end()) continue;  // pruned: requester needs app-level
-    Writer w;                           // state transfer instead
+    if (it == history.end()) continue;
+    Writer w;
     w.u8(static_cast<std::uint8_t>(WireType::accept));
     w.u64(gid);
     w.u32(incarnation);
@@ -812,6 +837,20 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       return;
     }
 
+    case WireType::gap_note: {
+      const std::uint64_t oldest = r.u64();
+      if (state == MemberState::left) return;
+      if (next_buffer >= oldest) return;  // stale note: gap already closed
+      // Records we still need were pruned from every peer we asked. The
+      // kernel cannot repair this; the application must rejoin and do an
+      // explicit state transfer (paper Sec. 3.2).
+      needs_state_transfer = true;
+      go_failed("history pruned below our watermark (oldest available " +
+                std::to_string(oldest) + ", we need " +
+                std::to_string(next_buffer) + ")");
+      return;
+    }
+
     case WireType::stale_note: {
       const std::uint32_t cur = r.u32();
       max_attempt_seen = std::max(max_attempt_seen, cur);
@@ -1064,6 +1103,7 @@ GroupInfo GroupMember::info() const {
   gi.sequencer = c.sequencer;
   gi.last_delivered = c.last_delivered;
   gi.known_latest = c.known_latest;
+  gi.needs_state_transfer = c.needs_state_transfer;
   return gi;
 }
 

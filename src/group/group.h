@@ -100,6 +100,10 @@ struct GroupInfo {
   MachineId sequencer;
   std::uint64_t last_delivered = 0;  // highest seqno handed to the app
   std::uint64_t known_latest = 0;    // highest seqno known to exist anywhere
+  /// Records this member still needs were pruned from every peer's history
+  /// (the kernel was told so via an explicit gap note). ResetGroup cannot
+  /// help — the application must leave, rejoin and transfer state.
+  bool needs_state_transfer = false;
   /// Messages the kernel knows about but the app has not yet received.
   [[nodiscard]] std::uint64_t buffered() const {
     return known_latest > last_delivered ? known_latest - last_delivered : 0;

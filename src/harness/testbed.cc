@@ -117,6 +117,9 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
         go.nvram_bytes = opts.nvram_bytes;
         go.improved_recovery = opts.improved_recovery;
         go.debug_skip_read_barrier = (i == opts.debug_stale_reads_server);
+        if (opts.group_history_limit > 0) {
+          go.group_base.history_limit = opts.group_history_limit;
+        }
         dir::install_group_dir_server(dir_server(i), go);
       }
     }
@@ -126,6 +129,29 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
   for (int i = 0; i < opts.clients; ++i) {
     clients_.push_back(&cluster_->add_machine("cli" + std::to_string(i)));
   }
+}
+
+disk::VirtualDisk& Testbed::vdisk(int i) {
+  net::Machine& m = storage(i);
+  return m.persistent<disk::VirtualDisk>("disk", [&m] {
+    disk::DiskConfig cfg;
+    cfg.write_latency = sim::msec(48);
+    return std::make_unique<disk::VirtualDisk>(m.sim(), m.name() + ".disk",
+                                               cfg);
+  });
+}
+
+nvram::Nvram* Testbed::nvram_of(int i) {
+  const char* key = nullptr;
+  if (opts_.flavor == Flavor::group_nvram) key = "group_dir.nvram";
+  if (opts_.flavor == Flavor::rpc_nvram) key = "rpc_dir.nvram";
+  if (key == nullptr) return nullptr;
+  net::Machine& m = dir_server(i);
+  nvram::NvramConfig nvcfg;
+  nvcfg.capacity_bytes = opts_.nvram_bytes;
+  return &m.persistent<nvram::Nvram>(key, [&m, nvcfg] {
+    return std::make_unique<nvram::Nvram>(m.sim(), nvcfg);
+  });
 }
 
 net::Port Testbed::admin_port(int i) const {

@@ -10,7 +10,9 @@
 #include "dir/group_server.h"
 #include "dir/nfs_server.h"
 #include "dir/rpc_server.h"
+#include "disk/vdisk.h"
 #include "net/cluster.h"
+#include "nvram/nvram.h"
 
 namespace amoeba::harness {
 
@@ -40,6 +42,9 @@ struct TestbedOptions {
   /// server with this index serves reads without the buffered-messages
   /// barrier (GroupDirOptions::debug_skip_read_barrier).
   int debug_stale_reads_server = -1;
+  /// When > 0, overrides GroupConfig::history_limit for the group flavors
+  /// (tests use a tiny limit to force history pruning during recovery).
+  std::size_t group_history_limit = 0;
 };
 
 /// A fully-wired simulated deployment. Owns the Simulator; build one per
@@ -60,6 +65,16 @@ class Testbed {
   [[nodiscard]] int num_clients() const {
     return static_cast<int>(clients_.size());
   }
+  [[nodiscard]] int num_storage() const {
+    return static_cast<int>(storage_.size());
+  }
+
+  /// The disk on storage machine `i` (the one its Bullet + disk servers
+  /// share). Valid for the Amoeba flavors; nfs has no storage machines.
+  disk::VirtualDisk& vdisk(int i);
+  /// The NVRAM device on directory server `i`, or nullptr for flavors
+  /// without one (group / rpc / nfs).
+  nvram::Nvram* nvram_of(int i);
 
   [[nodiscard]] net::Port dir_port() const { return dir_port_; }
   /// Admin/peer port of directory server `i` (recovery RPCs for group

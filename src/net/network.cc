@@ -68,6 +68,25 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
     return;
   }
   sim::Duration lat = latency(size);
+  // Reordering: hold this delivery back several base-latencies so later
+  // packets on the same path overtake it.
+  if (cfg_.reorder_prob > 0 && sim_.rng().uniform() < cfg_.reorder_prob) {
+    lat += cfg_.base_latency *
+           static_cast<sim::Duration>(2 + sim_.rng().below(5));
+    stats_.reordered++;
+  }
+  // Duplicate delivery: the datalink layer retransmitted after a lost ack;
+  // the second copy trails the first by its own (usually longer) latency.
+  if (cfg_.dup_prob > 0 && sim_.rng().uniform() < cfg_.dup_prob) {
+    stats_.duplicated++;
+    schedule_delivery(src, dst, port, payload,
+                      latency(size) + cfg_.base_latency * 3);
+  }
+  schedule_delivery(src, dst, port, std::move(payload), lat);
+}
+
+void Network::schedule_delivery(MachineId src, MachineId dst, Port port,
+                                Buffer payload, sim::Duration lat) {
   sim_.post(lat, [this, src, dst, port, payload = std::move(payload)]() mutable {
     // Connectivity and liveness are evaluated at delivery time.
     Machine& m = cluster_.machine(dst);

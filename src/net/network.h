@@ -19,6 +19,8 @@ struct NetConfig {
   double per_byte_us = 0.8;                     // 10 Mbit/s
   double jitter_frac = 0.2;   // uniform extra latency, fraction of base
   double drop_prob = 0.0;     // per-destination independent loss
+  double dup_prob = 0.0;      // per-destination duplicate delivery
+  double reorder_prob = 0.0;  // per-destination extra-latency reordering
   /// Redundant network segments (paper Sec. 2: the directory servers
   /// "should be connected by multiple, redundant networks"). A packet gets
   /// through if ANY segment connects source and destination, so a partition
@@ -36,6 +38,8 @@ struct NetStats {
   std::uint64_t dropped_down = 0;   // destination machine down
   std::uint64_t dropped_part = 0;   // blocked by a partition
   std::uint64_t dropped_noport = 0; // no endpoint registered
+  std::uint64_t duplicated = 0;     // extra copies injected by dup_prob
+  std::uint64_t reordered = 0;      // deliveries delayed by reorder_prob
 };
 
 class Network {
@@ -73,10 +77,19 @@ class Network {
 
   [[nodiscard]] const NetConfig& config() const { return cfg_; }
   void set_drop_prob(double p) { cfg_.drop_prob = p; }
+  /// Duplicate delivery: with probability p a destination receives a second
+  /// copy of the packet a little later (retransmit-after-lost-ack at the
+  /// datalink layer). Stresses at-most-once RPC and sequencer dedup.
+  void set_dup_prob(double p) { cfg_.dup_prob = p; }
+  /// Reordering: with probability p a delivery is held back several
+  /// base-latencies, so packets sent later overtake it.
+  void set_reorder_prob(double p) { cfg_.reorder_prob = p; }
 
  private:
   void deliver_one(MachineId src, MachineId dst, Port port, Buffer payload,
                    std::uint32_t size);
+  void schedule_delivery(MachineId src, MachineId dst, Port port,
+                         Buffer payload, sim::Duration lat);
   sim::Duration latency(std::uint32_t size_bytes);
   [[nodiscard]] bool segment_connected(int segment, MachineId a,
                                        MachineId b) const;

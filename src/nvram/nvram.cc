@@ -12,7 +12,25 @@ Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data) {
   if (!would_fit(data.size())) {
     return Status::error(Errc::full, "nvram full");
   }
-  sim_.sleep_for(cfg_.write_latency);
+  if (torn_appends_ && !data.empty()) {
+    try {
+      sim_.sleep_for(cfg_.write_latency);
+    } catch (const sim::ProcessKilled&) {
+      // Crash mid-copy: the battery preserves however many bytes made it.
+      const auto keep = static_cast<std::size_t>(sim_.rng().below(data.size()));
+      Record rec;
+      rec.id = next_id_++;
+      rec.tag = tag;
+      rec.data = Buffer(data.begin(),
+                        data.begin() + static_cast<std::ptrdiff_t>(keep));
+      used_ += footprint(rec.data.size());
+      log_.push_back(std::move(rec));
+      ++torn_;
+      throw;
+    }
+  } else {
+    sim_.sleep_for(cfg_.write_latency);
+  }
   Record rec;
   rec.id = next_id_++;
   rec.tag = tag;
@@ -21,6 +39,17 @@ Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data) {
   log_.push_back(std::move(rec));
   ++appends_;
   return log_.back().id;
+}
+
+bool Nvram::corrupt_tail(std::size_t keep_bytes) {
+  if (log_.empty()) return false;
+  Record& tail = log_.back();
+  if (tail.data.size() <= keep_bytes) return false;
+  used_ -= footprint(tail.data.size());
+  tail.data.resize(keep_bytes);
+  used_ += footprint(tail.data.size());
+  ++torn_;
+  return true;
 }
 
 bool Nvram::cancel(std::uint64_t id) {

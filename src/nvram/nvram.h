@@ -36,8 +36,20 @@ class Nvram {
   Nvram& operator=(const Nvram&) = delete;
 
   /// Append a record. Fails with Errc::full when it does not fit; the
-  /// caller must flush first.
+  /// caller must flush first. With torn appends enabled, a machine crash
+  /// during the write leaves a truncated tail record behind (the battery
+  /// keeps the partial bytes; the crash interrupts the copy).
   Result<std::uint64_t> append(std::uint64_t tag, Buffer data);
+
+  /// Fault injection: model a crash mid-append as a partial tail record
+  /// instead of the default all-or-nothing semantics.
+  void set_torn_appends(bool on) { torn_appends_ = on; }
+  [[nodiscard]] std::uint64_t torn_append_count() const { return torn_; }
+
+  /// Fault injection / test hook: truncate the newest record's payload to
+  /// `keep_bytes`, as a crash mid-append would. No-op on an empty log or
+  /// when the tail is already that short. Returns true when it truncated.
+  bool corrupt_tail(std::size_t keep_bytes);
 
   /// Remove a not-yet-flushed record by id (no time cost: NVRAM is RAM).
   bool cancel(std::uint64_t id);
@@ -69,6 +81,8 @@ class Nvram {
   NvramConfig cfg_;
   std::deque<Record> log_;
   std::size_t used_ = 0;
+  bool torn_appends_ = false;
+  std::uint64_t torn_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t appends_ = 0;
   std::uint64_t cancels_ = 0;

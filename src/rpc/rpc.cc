@@ -44,8 +44,28 @@ void RpcServer::on_packet(Packet pkt) {
       }
       case MsgType::request: {
         Port reply_port{r.u64()};
+        // At-most-once: a duplicated request must not execute twice, and
+        // must never be answered NOTHERE — the client would treat that as
+        // "never queued", fail over, and re-issue the operation against
+        // another server.
+        const DedupKey key{pkt.src.v, reply_port.v, xid};
+        if (auto it = done_.find(key); it != done_.end()) {
+          ++dups_;
+          Writer w;
+          w.u8(static_cast<std::uint8_t>(MsgType::reply));
+          w.u64(xid);
+          w.raw(it->second);
+          machine_.net().unicast(machine_.id(), pkt.src, reply_port,
+                                 w.take());
+          return;
+        }
+        if (in_flight_.count(key) != 0) {
+          ++dups_;  // queued or being served: its reply is on the way
+          return;
+        }
         // NOTHERE when every service thread is busy (paper Sec. 4.2).
         if (idle_threads_ > static_cast<int>(pending_.size())) {
+          in_flight_.insert(key);
           IncomingRequest req;
           req.client = pkt.src;
           req.reply_port = reply_port;
@@ -78,6 +98,15 @@ IncomingRequest RpcServer::get_request() {
 }
 
 void RpcServer::put_reply(const IncomingRequest& req, Buffer reply) {
+  const DedupKey key{req.client.v, req.reply_port.v, req.xid};
+  in_flight_.erase(key);
+  if (done_.emplace(key, reply).second) {
+    done_order_.push_back(key);
+    while (done_order_.size() > kDoneCacheSize) {
+      done_.erase(done_order_.front());
+      done_order_.pop_front();
+    }
+  }
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::reply));
   w.u64(req.xid);

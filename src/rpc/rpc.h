@@ -17,8 +17,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/buffer.h"
@@ -62,8 +65,18 @@ class RpcServer {
 
   [[nodiscard]] Machine& machine() const { return machine_; }
   [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  /// Duplicate requests absorbed by the at-most-once filter (retransmits
+  /// or network-duplicated packets; each was dropped or answered from the
+  /// reply cache instead of being executed again).
+  [[nodiscard]] std::uint64_t duplicates_filtered() const { return dups_; }
 
  private:
+  /// At-most-once identity of a transaction: (client machine, reply port,
+  /// xid). The reply port is per-client-object, so two clients on one
+  /// machine never collide.
+  using DedupKey = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+  static constexpr std::size_t kDoneCacheSize = 128;
+
   void on_packet(Packet pkt);
 
   Machine& machine_;
@@ -71,6 +84,10 @@ class RpcServer {
   sim::Mailbox<IncomingRequest> pending_;
   int idle_threads_ = 0;
   std::uint64_t served_ = 0;
+  std::uint64_t dups_ = 0;
+  std::set<DedupKey> in_flight_;       // queued or being served
+  std::map<DedupKey, Buffer> done_;    // replied: resend on duplicate
+  std::deque<DedupKey> done_order_;    // FIFO pruning of done_
   net::PortBinding binding_;  // last member: handler sees initialized state
 };
 

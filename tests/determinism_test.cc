@@ -85,12 +85,20 @@ TEST(Determinism, DistinctSeedsDiverge) {
 }
 
 TEST(Determinism, ScheduleRoundTripsThroughText) {
-  NemesisOptions nopts = default_nemesis(harness::Flavor::group, 3, 6);
-  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    std::vector<FaultStep> steps = make_schedule(seed, nopts);
-    auto back = decode_schedule(encode_schedule(steps));
-    ASSERT_TRUE(back.is_ok()) << seed;
-    EXPECT_EQ(encode_schedule(*back), encode_schedule(steps)) << seed;
+  // Every flavor's generated schedules (which between them draw every
+  // fault kind the flavor admits) must survive encode -> decode -> encode.
+  for (harness::Flavor f :
+       {harness::Flavor::group, harness::Flavor::group_nvram,
+        harness::Flavor::rpc, harness::Flavor::rpc_nvram,
+        harness::Flavor::nfs}) {
+    NemesisOptions nopts = default_nemesis(f, 3, 6);
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      std::vector<FaultStep> steps = make_schedule(seed, nopts);
+      auto back = decode_schedule(encode_schedule(steps));
+      ASSERT_TRUE(back.is_ok()) << flavor_token(f) << " seed " << seed;
+      EXPECT_EQ(encode_schedule(*back), encode_schedule(steps))
+          << flavor_token(f) << " seed " << seed;
+    }
   }
 }
 

@@ -257,5 +257,67 @@ TEST_F(EdgeFixture, StatsCountSendsAndResets) {
   EXPECT_GE(ms[1]->stats().resets, 1u);
 }
 
+TEST_F(EdgeFixture, PrunedHistoryGapEscalatesToStateTransfer) {
+  // Regression: a member that falls briefly out of contact — not long
+  // enough to be declared failed — used to request retransmission of
+  // records every peer had already pruned (tiny history_limit) and then
+  // wait forever, because the retransmission server silently had nothing
+  // below its watermark to send. The kernel now answers with an explicit
+  // gap note; the lagging member fails itself and reports
+  // needs_state_transfer so the application rejoins with a state transfer.
+  GroupConfig cfg = cfg_for(3);
+  cfg.resilience = 1;     // commits need only one surviving ack in the split
+  cfg.history_limit = 8;  // the storm prunes far past the victim's watermark
+  net::Machine& m0 = cluster.add_machine("m0");
+  net::Machine& m1 = cluster.add_machine("m1");
+  net::Machine& m2 = cluster.add_machine("m2");
+  std::unique_ptr<GroupMember> g0, g1, g2;
+  bool victim_failed = false;
+  m0.spawn("founder", [&] {
+    g0 = GroupMember::create(m0, cfg);
+    while (g0->receive().is_ok()) {
+    }
+  });
+  auto joiner = [&](net::Machine& m, std::unique_ptr<GroupMember>& g,
+                    sim::Duration delay, bool* failed) {
+    m.spawn("joiner", [&m, &g, delay, failed, cfg, this] {
+      sim.sleep_for(delay);
+      while (!g) {
+        auto res = GroupMember::join(m, cfg);
+        if (res.is_ok()) {
+          g = std::move(*res);
+        } else {
+          sim.sleep_for(sim::msec(10));
+        }
+      }
+      while (g->receive().is_ok()) {
+      }
+      if (failed != nullptr) *failed = true;
+    });
+  };
+  joiner(m1, g1, sim::msec(5), nullptr);
+  joiner(m2, g2, sim::msec(10), &victim_failed);
+  m0.spawn("sender", [&] {
+    sim.sleep_for(sim::msec(60));  // m2 is cut off by now
+    for (int i = 0; i < 40; ++i) {
+      (void)g0->send_to_group(to_buffer("m" + std::to_string(i)));
+    }
+  });
+  sim.spawn("chaos", [&] {
+    sim.sleep_for(sim::msec(40));
+    cluster.partition({{MachineId{0}, MachineId{1}}, {MachineId{2}}});
+    // Shorter than miss_limit * heartbeat: nobody declares m2 failed, so
+    // after healing m2 is still a member — just far behind.
+    sim.sleep_for(sim::msec(150));
+    cluster.heal();
+  });
+  sim.run_for(sim::sec(3));
+  ASSERT_NE(g2, nullptr);
+  EXPECT_TRUE(victim_failed) << "the victim's receive() never errored out";
+  GroupInfo gi = g2->info();
+  EXPECT_EQ(gi.state, MemberState::failed);
+  EXPECT_TRUE(gi.needs_state_transfer);
+}
+
 }  // namespace
 }  // namespace amoeba::group

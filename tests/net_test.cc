@@ -224,6 +224,46 @@ TEST_F(NetFixture, LossInjectionDropsPackets) {
   EXPECT_EQ(cluster.net().stats().dropped_loss, 5u);
 }
 
+TEST_F(NetFixture, DuplicateInjectionDeliversTwice) {
+  Machine& a = cluster.add_machine("a");
+  Machine& b = cluster.add_machine("b");
+  cluster.net().set_dup_prob(1.0);
+  int got = 0;
+  b.spawn("recv", [&] {
+    Endpoint ep(b, kPort);
+    while (ep.mailbox().recv_until(sim::msec(100))) got++;
+  });
+  a.spawn("send", [&] {
+    for (int i = 0; i < 5; ++i) {
+      a.net().unicast(a.id(), b.id(), kPort, to_buffer("x"));
+    }
+  });
+  sim.run_until(sim::msec(300));
+  EXPECT_EQ(got, 10);
+  EXPECT_EQ(cluster.net().stats().duplicated, 5u);
+  // One Ethernet transmission per copy: duplicates are real wire traffic.
+  EXPECT_EQ(cluster.net().stats().deliveries, 10u);
+}
+
+TEST_F(NetFixture, ReorderInjectionDelaysDelivery) {
+  Machine& a = cluster.add_machine("a");
+  Machine& b = cluster.add_machine("b");
+  cluster.net().set_reorder_prob(1.0);
+  sim::Time arrival = -1;
+  b.spawn("recv", [&] {
+    Endpoint ep(b, kPort);
+    if (ep.mailbox().recv_until(sim::msec(100))) arrival = sim.now();
+  });
+  a.spawn("send", [&] {
+    a.net().unicast(a.id(), b.id(), kPort, to_buffer("x"));
+  });
+  sim.run_until(sim::msec(200));
+  // Normal delivery lands well under 2ms (DeliveryTakesLatency); a
+  // reordered packet is held back at least two extra base latencies.
+  EXPECT_GE(arrival, 2000);
+  EXPECT_EQ(cluster.net().stats().reordered, 1u);
+}
+
 TEST_F(NetFixture, RedundantSegmentsMaskOnePartition) {
   // Paper Sec. 2: with multiple redundant networks, one partitioned (or
   // failed) segment does not cut connectivity.

@@ -155,6 +155,48 @@ TEST_F(RpcFixture, BusySingleThreadServerSaysNothere) {
   EXPECT_EQ(st2.code(), Errc::refused);
 }
 
+TEST_F(RpcFixture, DuplicateDeliveryExecutesAtMostOnce) {
+  // Force the network to duplicate every packet: the server must execute
+  // each transaction once (dedupe by client/port/xid) and answer the
+  // duplicate from its done-cache instead of re-running the handler — a
+  // re-run of a non-idempotent update would corrupt state, and a NOTHERE
+  // would make the client fail over and re-execute elsewhere.
+  net::Machine& s = cluster.add_machine("server");
+  net::Machine& c = cluster.add_machine("client");
+  int executions = 0;
+  RpcServer* srv = nullptr;
+  s.install_service("count", [&](net::Machine& mm) {
+    auto server = std::make_shared<RpcServer>(mm, kEcho);
+    srv = server.get();
+    mm.spawn("count.t", [server, &executions] {
+      while (true) {
+        IncomingRequest req = server->get_request();
+        ++executions;
+        server->put_reply(req, req.data);
+      }
+    });
+    mm.sim().sleep_for(sim::kTimeMax / 2);
+  });
+  const int kCalls = 20;
+  int ok = 0;
+  c.spawn("client", [&] {
+    RpcClient rpc(c);
+    if (rpc.trans(kEcho, to_buffer("warm")).is_ok()) ok++;
+    cluster.net().set_dup_prob(1.0);
+    for (int i = 0; i < kCalls; ++i) {
+      auto res = rpc.trans(kEcho, to_buffer("m" + std::to_string(i)),
+                           {.timeout = sim::sec(2)});
+      if (res.is_ok() && to_string(*res) == "m" + std::to_string(i)) ok++;
+    }
+    cluster.net().set_dup_prob(0.0);
+  });
+  sim.run_until(sim::sec(20));
+  EXPECT_EQ(ok, kCalls + 1);
+  EXPECT_EQ(executions, kCalls + 1);
+  ASSERT_NE(srv, nullptr);
+  EXPECT_GT(srv->duplicates_filtered(), 0u);
+}
+
 TEST_F(RpcFixture, ManyConcurrentClients) {
   net::Machine& s = cluster.add_machine("server");
   start_echo(s, sim::msec(1), 4);

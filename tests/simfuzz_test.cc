@@ -7,6 +7,7 @@
 // repro.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -201,6 +202,174 @@ TEST(SimFuzz, InjectedStaleReadsAreCaughtAndShrink) {
   std::string cmd = repro_command(opts, minimal);
   EXPECT_NE(cmd.find("--flavor group"), std::string::npos) << cmd;
   EXPECT_NE(cmd.find("--inject-bug"), std::string::npos) << cmd;
+}
+
+// -------------------------------------------------- nemesis schedules
+
+TEST(Nemesis, ScheduleCodecRoundTripsEveryKind) {
+  using K = FaultStep::Kind;
+  std::vector<FaultStep> steps;
+  auto add = [&](K k, int victim, double prob) {
+    FaultStep s;
+    s.kind = k;
+    s.victim = victim;
+    s.prob = prob;
+    s.fault = sim::msec(700);
+    s.settle = sim::msec(300);
+    steps.push_back(s);
+  };
+  add(K::crash, 2, 0.0);
+  add(K::partition, 1, 0.0);
+  add(K::loss, 0, 0.12);
+  add(K::dup, 0, 0.25);
+  add(K::reorder, 0, 0.30);
+  add(K::disk_fault, 1, 0.15);  // the only two-argument token ("f1:0.15")
+  add(K::torn_nvram, 2, 0.0);
+  add(K::storage_crash, 0, 0.0);
+  add(K::crash_recovering, 1, 0.0);
+  add(K::crash_recovering_storage, 2, 0.0);
+  add(K::calm, 0, 0.0);
+
+  const std::string text = encode_schedule(steps);
+  auto back = decode_schedule(text);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string() << " <- " << text;
+  ASSERT_EQ(back->size(), steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const FaultStep& want = steps[i];
+    const FaultStep& got = (*back)[i];
+    EXPECT_EQ(got.kind, want.kind) << "step " << i << " in " << text;
+    EXPECT_NEAR(got.prob, want.prob, 0.005) << "step " << i;
+    EXPECT_EQ(got.fault, want.fault) << "step " << i;
+    EXPECT_EQ(got.settle, want.settle) << "step " << i;
+    switch (want.kind) {
+      case K::crash:
+      case K::partition:
+      case K::disk_fault:
+      case K::torn_nvram:
+      case K::storage_crash:
+      case K::crash_recovering:
+      case K::crash_recovering_storage:
+        EXPECT_EQ(got.victim, want.victim) << "step " << i;
+        break;
+      default:
+        break;  // loss/dup/reorder/calm are victimless
+    }
+  }
+  // Encoding the decoded schedule reproduces the text byte-for-byte, so a
+  // shrunk schedule printed in a failure report replays exactly.
+  EXPECT_EQ(encode_schedule(*back), text);
+}
+
+TEST(Nemesis, DecodeRejectsMalformedSchedules) {
+  EXPECT_FALSE(decode_schedule("z1/800/500").is_ok());
+  EXPECT_FALSE(decode_schedule("c1/800").is_ok());
+  EXPECT_FALSE(decode_schedule("f1/800/500").is_ok());  // missing ":prob"
+  EXPECT_FALSE(decode_schedule("nonsense").is_ok());
+}
+
+std::set<FaultStep::Kind> kinds_drawn(harness::Flavor f, bool legacy) {
+  NemesisOptions o = default_nemesis(f, 3, /*steps=*/40, legacy);
+  std::set<FaultStep::Kind> out;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const FaultStep& s : make_schedule(seed, o)) out.insert(s.kind);
+  }
+  return out;
+}
+
+TEST(Nemesis, FlavorFaultMatrixIsRespected) {
+  using K = FaultStep::Kind;
+  // group: full fault model, but no NVRAM to tear.
+  auto group = kinds_drawn(harness::Flavor::group, false);
+  EXPECT_TRUE(group.count(K::crash));
+  EXPECT_TRUE(group.count(K::partition));
+  EXPECT_TRUE(group.count(K::dup));
+  EXPECT_TRUE(group.count(K::reorder));
+  EXPECT_TRUE(group.count(K::disk_fault));
+  EXPECT_TRUE(group.count(K::storage_crash));
+  EXPECT_TRUE(group.count(K::crash_recovering));
+  EXPECT_TRUE(group.count(K::crash_recovering_storage));
+  EXPECT_FALSE(group.count(K::torn_nvram)) << "plain group has no NVRAM";
+
+  auto gn = kinds_drawn(harness::Flavor::group_nvram, false);
+  EXPECT_TRUE(gn.count(K::torn_nvram));
+
+  // rpc: crash-only network model — partitions and sustained loss make the
+  // two servers diverge by design, so the nemesis must not inject them.
+  auto rpc = kinds_drawn(harness::Flavor::rpc, false);
+  EXPECT_TRUE(rpc.count(K::crash));
+  EXPECT_TRUE(rpc.count(K::dup));
+  EXPECT_TRUE(rpc.count(K::reorder));
+  EXPECT_TRUE(rpc.count(K::disk_fault));
+  EXPECT_FALSE(rpc.count(K::partition));
+  EXPECT_FALSE(rpc.count(K::loss));
+  EXPECT_FALSE(rpc.count(K::storage_crash));
+  EXPECT_FALSE(rpc.count(K::crash_recovering));
+  EXPECT_FALSE(rpc.count(K::crash_recovering_storage));
+  EXPECT_FALSE(rpc.count(K::torn_nvram));
+  EXPECT_TRUE(kinds_drawn(harness::Flavor::rpc_nvram, false)
+                  .count(K::torn_nvram));
+
+  // nfs: a single unreplicated server; only loss and duplication are fair.
+  auto nfs = kinds_drawn(harness::Flavor::nfs, false);
+  EXPECT_TRUE(nfs.count(K::loss));
+  EXPECT_TRUE(nfs.count(K::dup));
+  for (K k : nfs) {
+    EXPECT_TRUE(k == K::loss || k == K::dup || k == K::calm)
+        << "nfs drew kind " << static_cast<int>(k);
+  }
+
+  // --faults legacy restricts every flavor to the PR-1 kinds.
+  for (harness::Flavor f :
+       {harness::Flavor::group, harness::Flavor::group_nvram,
+        harness::Flavor::rpc, harness::Flavor::rpc_nvram,
+        harness::Flavor::nfs}) {
+    for (K k : kinds_drawn(f, true)) {
+      EXPECT_TRUE(k == K::crash || k == K::partition || k == K::loss ||
+                  k == K::calm)
+          << flavor_token(f) << " drew kind " << static_cast<int>(k)
+          << " under --faults legacy";
+    }
+  }
+}
+
+// -------------------------------------------------- shrunk regressions
+
+TEST(SimFuzz, RegressionAllReplicasRecoveringLivelock) {
+  // Shrunk from `simfuzz --flavor group --seed 32` with the v2 fault kinds:
+  // a crash, sustained loss and a second crash during recovery left all
+  // three servers in recovery at once with the full last-failed set
+  // required. Each server used to leave the group immediately after its
+  // recovery exchange came up short, so no exchange ever observed the whole
+  // last-set in one membership view and the cluster livelocked (one replica
+  // stuck behind, "states diverge"). Recovering servers now wait in the
+  // group and retry, which lets the set assemble.
+  FuzzOptions opts;
+  opts.flavor = harness::Flavor::group;
+  opts.seed = 32;
+  auto sched =
+      decode_schedule("c1/428/404,l0.24/1000/357,J2/436/596,r0.30/844/559");
+  ASSERT_TRUE(sched.is_ok());
+  opts.schedule = *sched;
+  FuzzReport r = run_one(opts);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.replicas_agree);
+}
+
+TEST(SimFuzz, TinyHistoryLimitStillConverges) {
+  // With the group-history GC nearly disabled (limit 16), a crashed or
+  // lagging server routinely needs records that every peer has pruned. The
+  // kernel must escalate via a gap note and the server must rejoin with a
+  // full state transfer instead of retrying retransmission forever.
+  FuzzOptions opts;
+  opts.flavor = harness::Flavor::group;
+  opts.seed = 7;
+  opts.group_history_limit = 16;
+  auto sched = decode_schedule("l0.30/1500/500,c1/800/500,l0.20/1200/400");
+  ASSERT_TRUE(sched.is_ok());
+  opts.schedule = *sched;
+  FuzzReport r = run_one(opts);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.replicas_agree);
 }
 
 TEST(SimFuzz, FlavorTokensRoundTrip) {

@@ -108,6 +108,56 @@ TEST_F(StorageFixture, FailedDiskReturnsIoError) {
   EXPECT_EQ(st.code(), Errc::io_error);
 }
 
+TEST_F(StorageFixture, TransientFaultProbFailsWrites) {
+  Machine& m = cluster.add_machine("m");
+  Status st = Status::ok();
+  Status recovered = Status::error(Errc::internal, "unset");
+  m.spawn("p", [&] {
+    auto& d = m.persistent<VirtualDisk>("d", [&] {
+      return std::make_unique<VirtualDisk>(sim, "d");
+    });
+    d.set_fault_prob(1.0);
+    st = d.write_block(0, to_buffer("x"));
+    d.set_fault_prob(0.0);
+    recovered = d.write_block(0, to_buffer("x"));  // transient: clears
+  });
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(st.code(), Errc::io_error);
+  EXPECT_TRUE(recovered.is_ok()) << recovered.to_string();
+}
+
+TEST_F(StorageFixture, TornWritePersistsOnlyAPrefix) {
+  Machine& m = cluster.add_machine("m");
+  auto make = [&] { return std::make_unique<VirtualDisk>(sim, "d"); };
+  const std::string next = "REPLACEMENT-CONTENT";
+  m.spawn("p", [&] {
+    auto& d = m.persistent<VirtualDisk>("d", make);
+    (void)d.write_block(0, to_buffer("old"));
+    d.set_torn_writes(true);
+    (void)d.write_block(0, to_buffer(next));  // killed mid-op
+  });
+  sim.spawn("chaos", [&] {
+    sim.sleep_for(sim::msec(60));  // during the second write (40..80ms)
+    cluster.crash(m.id());
+  });
+  sim.run_until(sim::msec(200));
+  cluster.restart(m.id());
+  Result<Buffer> got{Status::error(Errc::internal, "unset")};
+  std::uint64_t torn = 0;
+  m.spawn("p2", [&] {
+    auto& d = m.persistent<VirtualDisk>("d", make);
+    got = d.read_block(0);
+    torn = d.torn_write_count();
+  });
+  sim.run_until(sim::msec(400));
+  ASSERT_TRUE(got.is_ok());
+  // Unlike the default all-or-nothing crash semantics, the torn write
+  // replaced the block with a strict prefix of the new contents.
+  EXPECT_EQ(torn, 1u);
+  EXPECT_LT(got->size(), next.size());
+  EXPECT_EQ(to_string(*got), next.substr(0, got->size()));
+}
+
 TEST_F(StorageFixture, DiskServerRemoteReadWrite) {
   Machine& storage = cluster.add_machine("storage");
   Machine& client = cluster.add_machine("client");

@@ -2,10 +2,13 @@
 //
 // Sweeps seeds across directory-service flavors; each seed drives one
 // deterministic simulation in which recording clients hammer the service
-// while a seed-derived nemesis schedule injects crashes, partitions and
-// packet loss. After the run the recorded history must be linearizable and
-// all replicas must agree. On failure the schedule is shrunk to a minimal
-// reproducer and the exact re-run command is printed.
+// while a seed-derived nemesis schedule injects crashes, partitions, packet
+// loss/duplication/reordering, disk and NVRAM faults, storage-machine
+// crashes and crashes during recovery (per flavor fault model; --faults
+// legacy restricts to crash/partition/loss). After the run the recorded
+// history must be linearizable and all replicas must agree. On failure the
+// schedule is shrunk to a minimal reproducer and the exact re-run command
+// is printed.
 //
 //   simfuzz --seeds 50 --flavor all          # sweep 50 seeds, every flavor
 //   simfuzz --flavor group --seed 42         # one specific run
@@ -36,6 +39,7 @@ struct CliOptions {
   int keys = 8;
   int steps = 6;
   bool inject_bug = false;
+  bool legacy_faults = false;  // --faults legacy
   std::string schedule;
   int shrink_runs = 48;
 };
@@ -45,7 +49,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--flavor NAME|all] [--seeds N] [--seed-base B] [--seed S]\n"
       "          [--clients C] [--keys K] [--steps S] [--schedule STR]\n"
-      "          [--inject-bug] [--shrink-runs N]\n"
+      "          [--faults legacy|all] [--inject-bug] [--shrink-runs N]\n"
       "flavors: group group_nvram rpc rpc_nvram nfs all\n",
       argv0);
 }
@@ -112,6 +116,17 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
                      : lvl == "debug" ? log::Level::debug
                      : lvl == "info"  ? log::Level::info
                                       : log::Level::warn);
+    } else if (a == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "legacy") == 0) {
+        cli.legacy_faults = true;
+      } else if (std::strcmp(v, "all") == 0) {
+        cli.legacy_faults = false;
+      } else {
+        std::fprintf(stderr, "--faults takes 'legacy' or 'all'\n");
+        return false;
+      }
     } else if (a == "--inject-bug") {
       cli.inject_bug = true;
     } else if (a == "--shrink-runs") {
@@ -137,6 +152,7 @@ bool run_and_report(const CliOptions& cli, harness::Flavor flavor,
   o.keys = cli.keys;
   o.steps = cli.steps;
   o.inject_stale_reads = cli.inject_bug;
+  o.legacy_faults = cli.legacy_faults;
   if (!cli.schedule.empty()) {
     auto sched = check::decode_schedule(cli.schedule);
     if (!sched.is_ok()) {
