@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/workload.h"
+#include "obs/json.h"
 
 namespace amoeba::bench {
 
@@ -16,9 +18,91 @@ inline void header(const std::string& title, const std::string& paper_ref) {
   std::printf("=============================================================\n");
 }
 
-/// Percentage deviation of measured from the paper's value.
-inline double dev(double measured, double paper) {
-  return paper == 0 ? 0 : 100.0 * (measured - paper) / paper;
+/// Percentage deviation of measured from the paper's value, or nullopt
+/// when the paper's value is 0: a ratio against zero does not exist, and
+/// returning 0 there would make any measured value look like a perfect
+/// match. Callers report the measured absolute value instead (dev_str).
+inline std::optional<double> dev(double measured, double paper) {
+  if (paper == 0) return std::nullopt;
+  return 100.0 * (measured - paper) / paper;
+}
+
+/// Human-readable deviation: "+3.2%", or "n/a (measured 1.23)" when the
+/// paper value is 0 and no ratio exists.
+inline std::string dev_str(double measured, double paper) {
+  char buf[64];
+  if (auto d = dev(measured, paper)) {
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", *d);
+  } else {
+    std::snprintf(buf, sizeof(buf), "n/a (measured %g)", measured);
+  }
+  return buf;
+}
+
+/// Deviation for the JSON report: a number, or null when no ratio exists.
+inline obs::Json dev_json(double measured, double paper) {
+  auto d = dev(measured, paper);
+  return d ? obs::Json::num(*d) : obs::Json::null();
+}
+
+/// Command-line options shared by every bench binary.
+struct BenchArgs {
+  std::string json_path;  // --json <path>: write machine-readable results
+  bool quick = false;     // --quick: fewer seeds/points (CI smoke run)
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--json" && i + 1 < argc) {
+      a.json_path = argv[++i];
+    } else if (s == "--quick") {
+      a.quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--quick]\n", argv[0]);
+    }
+  }
+  return a;
+}
+
+/// {"<layer>.<name>": count, ...} — deterministic key order (std::map).
+inline obs::Json counters_json(const obs::Metrics::Snapshot& snap) {
+  obs::Json o = obs::Json::object();
+  for (const auto& [key, value] : snap) o.set(key, obs::Json::uinteger(value));
+  return o;
+}
+
+/// Summary of a sample vector. ok=false (empty input) yields null figures,
+/// never fabricated zeros.
+inline obs::Json stats_json(const harness::Stats& s) {
+  obs::Json o = obs::Json::object();
+  o.set("ok", obs::Json::boolean(s.ok));
+  o.set("n", obs::Json::uinteger(s.n));
+  o.set("mean", s.ok ? obs::Json::num(s.mean) : obs::Json::null());
+  o.set("stddev", s.ok ? obs::Json::num(s.stddev) : obs::Json::null());
+  o.set("p50", s.ok ? obs::Json::num(s.p50) : obs::Json::null());
+  o.set("p99", s.ok ? obs::Json::num(s.p99) : obs::Json::null());
+  return o;
+}
+
+inline obs::Json stats_json(const std::vector<double>& samples) {
+  return stats_json(harness::summarize(samples));
+}
+
+/// Write the report; returns false (and complains) when the file cannot
+/// be created, so CI fails loudly instead of uploading nothing.
+inline bool write_json(const std::string& path, const obs::Json& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = root.dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace amoeba::bench

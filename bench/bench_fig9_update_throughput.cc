@@ -8,37 +8,73 @@
 namespace amoeba::bench {
 namespace {
 
-void run() {
+void run(const BenchArgs& args) {
   header(
       "Figure 9: append-delete pair throughput vs number of clients "
       "(pairs/sec)",
       "Kaashoek et al. 1993, Fig. 9");
 
-  const std::vector<std::uint64_t> seeds{2, 5};
+  std::vector<std::uint64_t> seeds{2, 5};
+  std::vector<int> client_counts{1, 2, 3, 4, 5, 6, 7};
+  if (args.quick) {
+    seeds = {2};
+    client_counts = {1, 4, 7};
+  }
   const harness::Flavor flavors[] = {harness::Flavor::group,
                                      harness::Flavor::group_nvram,
                                      harness::Flavor::rpc};
+  const char* flavor_keys[] = {"group", "group_nvram", "rpc"};
   const double paper_bound[] = {5, 45, 5};
 
   std::printf("%-16s |", "clients");
-  for (int n = 1; n <= 7; ++n) std::printf(" %6d", n);
+  for (int n : client_counts) std::printf(" %6d", n);
   std::printf(" | paper bound\n");
 
+  obs::Json flavors_j = obs::Json::object();
   int fi = 0;
   for (harness::Flavor f : flavors) {
     std::printf("%-16s |", harness::flavor_name(f));
-    for (int n = 1; n <= 7; ++n) {
+    harness::Stats last;
+    obs::Json points = obs::Json::array();
+    for (int n : client_counts) {
       std::vector<double> vals;
+      std::vector<double> op_ms;
+      obs::Metrics::Snapshot counters;
       for (std::uint64_t seed : seeds) {
         harness::Testbed bed({.flavor = f, .clients = n, .seed = seed});
         if (!bed.wait_ready()) continue;
         auto r = harness::update_throughput(bed, sim::sec(2), sim::sec(15));
-        if (r.ok) vals.push_back(r.ops_per_sec);
+        if (!r.ok) continue;
+        vals.push_back(r.ops_per_sec);
+        op_ms.insert(op_ms.end(), r.op_ms.begin(), r.op_ms.end());
+        for (const auto& [key, value] : r.window_counters) {
+          counters[key] += value;
+        }
       }
-      std::printf(" %6.1f", harness::summarize(vals).mean);
+      last = harness::summarize(vals);
+      if (last.ok) {
+        std::printf(" %6.1f", last.mean);
+      } else {
+        std::printf(" %6s", "n/a");
+      }
       std::fflush(stdout);
+
+      obs::Json pt = obs::Json::object();
+      pt.set("clients", obs::Json::integer(n));
+      pt.set("pairs_per_sec", stats_json(last));
+      pt.set("pair_ms", stats_json(op_ms));
+      pt.set("window_counters", counters_json(counters));
+      points.push(std::move(pt));
     }
-    std::printf(" | ~%.0f pairs/s\n", paper_bound[fi++]);
+    std::printf(" | ~%.0f pairs/s\n", paper_bound[fi]);
+
+    obs::Json fj = obs::Json::object();
+    fj.set("paper_bound", obs::Json::num(paper_bound[fi]));
+    fj.set("bound_deviation_pct",
+           last.ok ? dev_json(last.mean, paper_bound[fi]) : obs::Json::null());
+    fj.set("points", std::move(points));
+    flavors_j.set(flavor_keys[fi], std::move(fj));
+    ++fi;
   }
 
   std::printf(
@@ -46,9 +82,22 @@ void run() {
       "client on (write path saturates immediately); NVRAM an order of\n"
       "magnitude higher; the actual write throughput is twice the pair\n"
       "rate, as each pair is two update operations.\n");
+
+  if (args.json_path.empty()) return;
+  obs::Json root = obs::Json::object();
+  root.set("bench", obs::Json::str("fig9_update_throughput"));
+  root.set("paper_ref", obs::Json::str("Kaashoek et al. 1993, Fig. 9"));
+  root.set("quick", obs::Json::boolean(args.quick));
+  obs::Json seeds_j = obs::Json::array();
+  for (std::uint64_t s : seeds) seeds_j.push(obs::Json::uinteger(s));
+  root.set("seeds", std::move(seeds_j));
+  root.set("flavors", std::move(flavors_j));
+  write_json(args.json_path, root);
 }
 
 }  // namespace
 }  // namespace amoeba::bench
 
-int main() { amoeba::bench::run(); }
+int main(int argc, char** argv) {
+  amoeba::bench::run(amoeba::bench::parse_args(argc, argv));
+}

@@ -80,6 +80,7 @@ Buffer BulletServer::handle(const Buffer& request) {
 }
 
 Result<cap::Capability> BulletServer::do_create(Buffer data) {
+  machine_.metrics().counter("bullet", "creates")++;
   // One disk write per block of file data; directories are small, so this
   // is the single disk operation in the group service's bullet step.
   const std::size_t nblocks =
@@ -102,6 +103,7 @@ Result<cap::Capability> BulletServer::do_create(Buffer data) {
 }
 
 Result<Buffer> BulletServer::do_read(const cap::Capability& c) {
+  machine_.metrics().counter("bullet", "reads")++;
   auto it = store_.files.find(c.object);
   if (it == store_.files.end()) {
     return Status::error(Errc::not_found, "no such file");
@@ -115,6 +117,7 @@ Result<Buffer> BulletServer::do_read(const cap::Capability& c) {
 }
 
 Status BulletServer::do_delete(const cap::Capability& c) {
+  machine_.metrics().counter("bullet", "deletes")++;
   auto it = store_.files.find(c.object);
   if (it == store_.files.end()) {
     return Status::error(Errc::not_found, "no such file");

@@ -205,6 +205,7 @@ void flush_all(ServerCtx& ctx, Storage& st) {
   (void)write_commit_block(ctx, st);
   for (std::uint64_t id : ids) (void)ctx.nv->cancel(id);
   ctx.stats->flushes++;
+  ctx.machine.metrics().counter("dir.group", "flushes")++;
 }
 
 /// Log an update in NVRAM instead of touching the disk (Sec. 4.1). Applies
@@ -606,11 +607,17 @@ bool try_recover_once(ServerCtx& ctx, Storage& st) {
 void run_recovery(ServerCtx& ctx, Storage& st) {
   ctx.in_recovery = true;
   ctx.stats->in_recovery = true;
+  const sim::Time t0 = ctx.now();
+  ctx.machine.trace().instant(t0, "dir.group", "recovery_begin",
+                              ctx.machine.id().v);
   while (!try_recover_once(ctx, st)) {
     // Loop until a majority with the last-to-fail set is assembled.
   }
   ctx.stats->in_recovery = false;
   ctx.stats->recoveries++;
+  ctx.machine.metrics().counter("dir.group", "recoveries")++;
+  ctx.machine.trace().complete(t0, ctx.now() - t0, "dir.group", "recovery",
+                               ctx.machine.id().v);
 }
 
 // --------------------------------------------------------- normal operation
@@ -737,6 +744,7 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
     // Commit: wake the initiator, then clean up old bullet files (Fig. 5).
     ctx.applied_seqno = msg.seqno;
     ctx.stats->applied_seqno = msg.seqno;
+    ctx.machine.metrics().counter("dir.group", "applies")++;
     if (msg.sender == ctx.machine.id()) {
       ctx.completions[opid] = std::move(reply);
       ctx.completion_wq.notify_all();
@@ -747,8 +755,10 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
 }
 
 void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
+  obs::Metrics& mx = ctx.machine.metrics();
   while (true) {
     rpc::IncomingRequest req = server.get_request();
+    const sim::Time op_t0 = ctx.now();
     auto op_res = peek_op(req.data);
     if (!op_res.is_ok()) {
       server.put_reply(req, reply_error(Errc::bad_request));
@@ -761,6 +771,7 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
     // "if (!majority()) return failure" — Fig. 5.
     if (ctx.in_recovery || !ctx.majority()) {
       ctx.stats->refused_no_majority++;
+      mx.counter("dir.group", "refused_no_majority")++;
       server.put_reply(req, reply_error(Errc::no_majority));
       continue;
     }
@@ -782,6 +793,10 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
       }
       server.put_reply(req, ctx.state.execute_read(req.data));
       ctx.stats->reads++;
+      mx.counter("dir.group", "reads")++;
+      mx.observe("dir.group", "read_ms", sim::to_ms(ctx.now() - op_t0));
+      ctx.machine.trace().complete(op_t0, ctx.now() - op_t0, "dir.group",
+                                   "read", ctx.machine.id().v);
       continue;
     }
 
@@ -813,6 +828,10 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
     ctx.completions.erase(it);
     server.put_reply(req, std::move(reply));
     ctx.stats->writes++;
+    mx.counter("dir.group", "writes")++;
+    mx.observe("dir.group", "write_ms", sim::to_ms(ctx.now() - op_t0));
+    ctx.machine.trace().complete(op_t0, ctx.now() - op_t0, "dir.group",
+                                 "write", ctx.machine.id().v);
   }
 }
 
@@ -852,6 +871,7 @@ void service_main(Machine& machine, GroupDirOptions opts) {
         "group_dir.nvram", [&machine, nvcfg] {
           return std::make_unique<nvram::Nvram>(machine.sim(), nvcfg);
         });
+    ctx.nv->attach_obs(&machine.metrics(), &machine.trace(), machine.id().v);
   }
 
   Storage st(ctx);

@@ -35,8 +35,10 @@ struct NfsCtx {
 };
 
 void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
+  obs::Metrics& mx = ctx.machine.metrics();
   while (true) {
     rpc::IncomingRequest req = server.get_request();
+    const sim::Time op_t0 = ctx.machine.sim().now();
     auto op_res = peek_op(req.data);
     if (!op_res.is_ok()) {
       server.put_reply(req, reply_error(Errc::bad_request));
@@ -46,6 +48,9 @@ void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
       ctx.machine.cpu().use(ctx.opts.cpu_read);
       server.put_reply(req, ctx.state.execute_read(req.data));
       ctx.stats->reads++;
+      mx.counter("dir.nfs", "reads")++;
+      mx.observe("dir.nfs", "read_ms",
+                 sim::to_ms(ctx.machine.sim().now() - op_t0));
       continue;
     }
     ctx.machine.cpu().use(ctx.opts.cpu_write);
@@ -64,6 +69,9 @@ void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
     }
     server.put_reply(req, std::move(reply));
     ctx.stats->writes++;
+    mx.counter("dir.nfs", "writes")++;
+    mx.observe("dir.nfs", "write_ms",
+               sim::to_ms(ctx.machine.sim().now() - op_t0));
   }
 }
 
@@ -125,6 +133,7 @@ void file_loop(NfsCtx& ctx, rpc::RpcServer& server) {
     }
     server.put_reply(req, std::move(reply));
     ctx.stats->file_ops++;
+    ctx.machine.metrics().counter("dir.nfs", "file_ops")++;
   }
 }
 
@@ -141,6 +150,7 @@ void service_main(Machine& machine, NfsDirOptions opts) {
         return std::make_unique<disk::VirtualDisk>(machine.sim(), "nfs.disk",
                                                    dcfg);
       });
+  ctx.disk->attach_obs(&machine.metrics(), &machine.trace(), machine.id().v);
   ctx.files = &machine.persistent<std::map<std::uint32_t, NfsCtx::FileEntry>>(
       "nfs.files",
       [] { return std::make_unique<std::map<std::uint32_t, NfsCtx::FileEntry>>(); });

@@ -183,6 +183,7 @@ void flush_all_rpc(RpcServerCtx& ctx, Storage& st) {
   }
   for (std::uint64_t id : ids) (void)ctx.nv->cancel(id);
   ctx.stats->flushes++;
+  ctx.machine.metrics().counter("dir.rpc", "flushes")++;
 }
 
 /// Log an update in NVRAM (both as the peer's intentions record and as the
@@ -270,6 +271,7 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
         while (ctx.update_lock) {
           if (ctx.now() >= lock_deadline) {
             ctx.stats->conflicts++;
+            ctx.machine.metrics().counter("dir.rpc", "conflicts")++;
             return reply_error(Errc::refused);
           }
           ctx.lock_wq.wait_until(lock_deadline);
@@ -287,6 +289,7 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
           return reply_error(Errc::conflict);
         }
         ctx.stats->intents_received++;
+        ctx.machine.metrics().counter("dir.rpc", "intents_received")++;
         ctx.machine.cpu().use(ctx.opts.cpu_apply);
         // Store the intentions (update + new seqno) durably, then apply to
         // the RAM state; the disk copy of the directory follows lazily.
@@ -368,8 +371,10 @@ bool sync_with_peer(RpcServerCtx& ctx, Storage& st);
 
 void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
   Storage st(ctx);
+  obs::Metrics& mx = ctx.machine.metrics();
   while (true) {
     rpc::IncomingRequest req = server.get_request();
+    const sim::Time op_t0 = ctx.now();
     auto op_res = peek_op(req.data);
     if (!op_res.is_ok()) {
       server.put_reply(req, reply_error(Errc::bad_request));
@@ -382,6 +387,10 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
     if (rd) {
       server.put_reply(req, ctx.state.execute_read(req.data));
       ctx.stats->reads++;
+      mx.counter("dir.rpc", "reads")++;
+      mx.observe("dir.rpc", "read_ms", sim::to_ms(ctx.now() - op_t0));
+      ctx.machine.trace().complete(op_t0, ctx.now() - op_t0, "dir.rpc",
+                                   "read", ctx.machine.id().v);
       continue;
     }
 
@@ -460,6 +469,10 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
       if (!deleted_file.is_null()) (void)st.bullet.del(deleted_file);
       ctx.unlock();
       ctx.stats->writes++;
+      mx.counter("dir.rpc", "writes")++;
+      mx.observe("dir.rpc", "write_ms", sim::to_ms(ctx.now() - op_t0));
+      ctx.machine.trace().complete(op_t0, ctx.now() - op_t0, "dir.rpc",
+                                   "write", ctx.machine.id().v);
       done = true;
     }
     if (!done) reply = reply_error(Errc::refused);
@@ -486,6 +499,9 @@ void install_snapshot(RpcServerCtx& ctx, Storage& st, const Buffer& snap,
     (void)write_copy(ctx, st, obj);
   }
   ctx.stats->resyncs++;
+  ctx.machine.metrics().counter("dir.rpc", "resyncs")++;
+  ctx.machine.trace().instant(ctx.now(), "dir.rpc", "resync",
+                              ctx.machine.id().v);
 }
 
 /// Exchange state with the peer so the replicas converge after a
@@ -611,6 +627,7 @@ void service_main(Machine& machine, RpcDirOptions opts) {
         "rpc_dir.nvram", [&machine, nvcfg] {
           return std::make_unique<nvram::Nvram>(machine.sim(), nvcfg);
         });
+    ctx.nv->attach_obs(&machine.metrics(), &machine.trace(), machine.id().v);
   }
 
   // Peer-facing service (intent / resync) comes up before the boot resync:

@@ -13,7 +13,13 @@ bool VirtualDisk::transient_fault() {
   return fault_prob_ > 0 && sim_.rng().uniform() < fault_prob_;
 }
 
+void VirtualDisk::note_io(const char* name, sim::Time t0, bool is_write) {
+  if (mx_ != nullptr) mx_->counter("disk", is_write ? "writes" : "reads")++;
+  if (tr_ != nullptr) tr_->complete(t0, sim_.now() - t0, "disk", name, pid_);
+}
+
 Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
+  const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   if (block >= cfg_.num_blocks) {
     return Status::error(Errc::io_error, "block out of range");
@@ -37,6 +43,7 @@ Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
                               data.begin() + static_cast<std::ptrdiff_t>(keep));
       ++torn_;
       ++writes_;
+      note_io("torn_write", t0, true);
       throw;
     }
   } else {
@@ -48,10 +55,12 @@ Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
   // writes are enabled above).
   blocks_[block] = data;
   ++writes_;
+  note_io("write", t0, true);
   return Status::ok();
 }
 
 Result<Buffer> VirtualDisk::read_block(std::uint32_t block) {
+  const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   if (block >= cfg_.num_blocks) {
     return Status::error(Errc::io_error, "block out of range");
@@ -59,6 +68,7 @@ Result<Buffer> VirtualDisk::read_block(std::uint32_t block) {
   spindle_.use(cfg_.read_latency);
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
+  note_io("read", t0, false);
   if (!blocks_[block]) {
     return Status::error(Errc::not_found, "block never written");
   }
@@ -66,18 +76,22 @@ Result<Buffer> VirtualDisk::read_block(std::uint32_t block) {
 }
 
 Status VirtualDisk::data_write() {
+  const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   spindle_.use(cfg_.data_write_latency);
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++writes_;
+  note_io("data_write", t0, true);
   return Status::ok();
 }
 
 Status VirtualDisk::data_read() {
+  const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   spindle_.use(cfg_.read_latency);
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
+  note_io("data_read", t0, false);
   return Status::ok();
 }
 
@@ -87,9 +101,11 @@ Result<std::vector<std::pair<std::uint32_t, Buffer>>> VirtualDisk::scan(
   hi = std::min<std::uint32_t>(hi, static_cast<std::uint32_t>(cfg_.num_blocks));
   // One seek + sequential streaming: ~32 blocks per rotation-equivalent.
   const std::uint32_t span = hi > lo ? hi - lo : 0;
+  const sim::Time t0 = sim_.now();
   spindle_.use(cfg_.read_latency * (1 + span / 32));
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
+  note_io("scan", t0, false);
   std::vector<std::pair<std::uint32_t, Buffer>> out;
   for (std::uint32_t b = lo; b < hi; ++b) {
     if (blocks_[b] && !blocks_[b]->empty()) out.emplace_back(b, *blocks_[b]);

@@ -14,6 +14,8 @@
 
 #include "common/buffer.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -83,10 +85,25 @@ class VirtualDisk {
     reads_ = 0;
   }
 
+  /// Hook the disk into the cluster-wide observability layer: every op
+  /// mirrors into the "disk" counters and records an I/O span against
+  /// machine `pid`. Disks are built by Machine::persistent factories that
+  /// have no Cluster in scope, so this is attached after construction;
+  /// unattached disks (standalone unit tests) skip it.
+  void attach_obs(obs::Metrics* metrics, obs::Trace* trace,
+                  std::uint32_t pid) {
+    mx_ = metrics;
+    tr_ = trace;
+    pid_ = pid;
+  }
+
  private:
   /// io_error with probability fault_prob_ (deterministic RNG draw). Only
   /// draws when a fault window is open, so fault-free runs consume no RNG.
   [[nodiscard]] bool transient_fault();
+
+  /// Mirror a completed op into the observability layer (span [t0, now]).
+  void note_io(const char* name, sim::Time t0, bool is_write);
 
   sim::Simulator& sim_;
   DiskConfig cfg_;
@@ -98,6 +115,9 @@ class VirtualDisk {
   std::uint64_t torn_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
+  obs::Metrics* mx_ = nullptr;
+  obs::Trace* tr_ = nullptr;
+  std::uint32_t pid_ = 0;
 };
 
 }  // namespace amoeba::disk

@@ -138,6 +138,14 @@ struct GroupMember::Ctx {
   std::optional<net::Endpoint> endpoint;
   GroupStats stats;
 
+  // Cluster-wide observability (cached counter refs: the wire helpers are
+  // the hottest path in the protocol).
+  obs::Metrics* mx;
+  obs::Trace* tr;
+  std::uint64_t* mx_data;
+  std::uint64_t* mx_ctrl;
+  std::uint64_t* mx_data_mcast;
+
   Ctx(net::Machine& m, GroupConfig c)
       : machine(m),
         cfg(std::move(c)),
@@ -145,7 +153,12 @@ struct GroupMember::Ctx {
         sequencer(m.id()),
         recv_wq(m.sim()),
         send_wq(m.sim()),
-        reset_wq(m.sim()) {}
+        reset_wq(m.sim()),
+        mx(&m.metrics()),
+        tr(&m.trace()),
+        mx_data(&mx->counter("group", "data_packets")),
+        mx_ctrl(&mx->counter("group", "control_packets")),
+        mx_data_mcast(&mx->counter("group", "data_multicasts")) {}
 
   sim::Simulator& sim() { return machine.sim(); }
   sim::Time now() { return machine.sim().now(); }
@@ -162,10 +175,13 @@ struct GroupMember::Ctx {
   // -- wire helpers ------------------------------------------------------
   void send_pkt(MachineId dst, Buffer b, bool data) {
     (data ? stats.data_packets : stats.control_packets)++;
+    (*(data ? mx_data : mx_ctrl))++;
     machine.net().unicast(me, dst, cfg.port, std::move(b));
   }
   void multicast_pkt(const std::vector<MachineId>& dsts, Buffer b, bool data) {
     (data ? stats.data_packets : stats.control_packets)++;
+    (*(data ? mx_data : mx_ctrl))++;
+    if (data) (*mx_data_mcast)++;
     machine.net().multicast(me, dsts, cfg.port, std::move(b));
   }
 
@@ -206,6 +222,8 @@ void GroupMember::Ctx::go_failed(const std::string& why) {
   if (state == MemberState::failed || state == MemberState::left) return;
   LOG_INFO << machine.name() << " group " << cfg.port.v
            << " FAILED: " << why;
+  mx->counter("group", "failures")++;
+  tr->instant(now(), "group", "failed", me.v, incarnation);
   const bool was_sequencer = i_am_sequencer() && state == MemberState::normal;
   state = MemberState::failed;
   if (was_sequencer) {
@@ -317,7 +335,7 @@ void GroupMember::Ctx::buffer_accept(const AcceptRecord& rec, MachineId from) {
     w.u64(gid);
     w.u64(next_buffer);
     send_pkt(from, w.take(), false);
-    stats.retransmissions++;
+    stats.retransmissions++, mx->counter("group", "retransmissions")++;
   }
 }
 
@@ -485,7 +503,7 @@ void GroupMember::Ctx::do_tick() {
       w.u64(gid);
       w.u64(next_buffer);
       send_pkt(sequencer, w.take(), false);
-      stats.retransmissions++;
+      stats.retransmissions++, mx->counter("group", "retransmissions")++;
     }
   }
 }
@@ -606,7 +624,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         w.u64(gid);
         w.u64(next_buffer);
         send_pkt(pkt.src, w.take(), false);
-        stats.retransmissions++;
+        stats.retransmissions++, mx->counter("group", "retransmissions")++;
         return;
       }
       rec.payload = it->second;
@@ -656,7 +674,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         w.u64(gid);
         w.u64(next_buffer);
         send_pkt(sequencer, w.take(), false);
-        stats.retransmissions++;
+        stats.retransmissions++, mx->counter("group", "retransmissions")++;
       }
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireType::alive));
@@ -825,8 +843,10 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         w.u64(gid);
         w.u64(next_buffer);
         send_pkt(sequencer, w.take(), false);
-        stats.retransmissions++;
+        stats.retransmissions++, mx->counter("group", "retransmissions")++;
       }
+      mx->counter("group", "views_installed")++;
+      tr->instant(now(), "group", "view", me.v, incarnation);
       // Tell the application a new view was installed (it may need to
       // record the configuration, as the directory service does).
       GroupMsg note;
@@ -1010,6 +1030,13 @@ Status GroupMember::send_to_group(Buffer payload) {
     return Status::error(Errc::group_failure, "group not operational");
   }
   const std::uint64_t msgid = c.next_msgid++;
+  const sim::Time t0 = c.now();
+  const auto finish_ok = [&] {
+    c.stats.sends++;
+    c.mx->counter("group", "sends")++;
+    c.mx->observe("group", "send_ms", sim::to_ms(c.now() - t0));
+    c.tr->complete(t0, c.now() - t0, "group", "send", c.me.v, msgid);
+  };
 
   for (int attempt = 0; attempt <= c.cfg.send_retries; ++attempt) {
     if (c.state != MemberState::normal) break;
@@ -1050,7 +1077,7 @@ Status GroupMember::send_to_group(Buffer payload) {
       if (it != c.send_done.end()) {
         Status st = it->second;
         c.send_done.erase(it);
-        if (st.is_ok()) c.stats.sends++;
+        if (st.is_ok()) finish_ok();
         return st;
       }
       if (c.state != MemberState::normal) break;
@@ -1060,7 +1087,7 @@ Status GroupMember::send_to_group(Buffer payload) {
   if (auto it = c.send_done.find(msgid); it != c.send_done.end()) {
     Status st = it->second;
     c.send_done.erase(it);
-    if (st.is_ok()) c.stats.sends++;
+    if (st.is_ok()) finish_ok();
     return st;
   }
   return Status::error(Errc::group_failure, "send not committed");
@@ -1201,6 +1228,8 @@ Status GroupMember::coordinate_reset(sim::Time deadline) {
   c.install_member_alive();
   c.state = MemberState::normal;
   c.stats.resets++;
+  c.mx->counter("group", "resets")++;
+  c.tr->instant(c.now(), "group", "reset", c.me.v, c.incarnation);
 
   Writer ng;
   ng.u8(static_cast<std::uint8_t>(WireType::newgroup));

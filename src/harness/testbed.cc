@@ -26,6 +26,7 @@ void install_storage(net::Machine& m, net::Port bullet_port,
       return std::make_unique<disk::VirtualDisk>(mm.sim(), mm.name() + ".disk",
                                                  cfg);
     });
+    vdisk.attach_obs(&mm.metrics(), &mm.trace(), mm.id().v);
     bullet::BulletServer bullet_srv(mm, bullet_port, vdisk, /*threads=*/2);
     disk::DiskServer disk_srv(mm, disk_port, vdisk, dir::kMaxObjects + 8,
                               /*threads=*/2);

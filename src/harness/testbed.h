@@ -55,6 +55,8 @@ class Testbed {
 
   sim::Simulator& sim() { return *sim_; }
   net::Cluster& cluster() { return *cluster_; }
+  obs::Metrics& metrics() { return cluster_->metrics(); }
+  obs::Trace& trace() { return cluster_->trace(); }
 
   [[nodiscard]] int num_dir_servers() const {
     return static_cast<int>(dir_servers_.size());

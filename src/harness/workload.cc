@@ -1,5 +1,6 @@
 #include "harness/workload.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "bullet/bullet.h"
@@ -34,13 +35,19 @@ cap::Capability dummy_cap(std::uint64_t n) {
 
 Stats summarize(const std::vector<double>& xs) {
   Stats s;
-  if (xs.empty()) return s;
+  if (xs.empty()) return s;  // ok stays false: no figure can be derived
   double sum = 0;
   for (double x : xs) sum += x;
   s.mean = sum / static_cast<double>(xs.size());
   double var = 0;
   for (double x : xs) var += (x - s.mean) * (x - s.mean);
   s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = obs::percentile(sorted, 50.0);
+  s.p99 = obs::percentile(sorted, 99.0);
+  s.n = xs.size();
+  s.ok = true;
   return s;
 }
 
@@ -50,6 +57,11 @@ LatencyResult measure_latencies(Testbed& bed, int warmup, int iters) {
   net::Machine& cm = bed.client(0);
   bool done = false;
 
+  // Merge one phase's measured-window counter delta into the result.
+  const auto merge_window = [&out](const obs::Metrics::Snapshot& d) {
+    for (const auto& [key, value] : d) out.window_counters[key] += value;
+  };
+
   cm.spawn("fig7", [&] {
     rpc::RpcClient rpc(cm);
     dir::DirClient dc(rpc, bed.dir_port());
@@ -58,26 +70,35 @@ LatencyResult measure_latencies(Testbed& bed, int warmup, int iters) {
     auto dir_cap = make_dir_retry(dc, sim);
     if (!dir_cap.is_ok()) return;
 
+    // Each phase runs its warmup iterations first, snapshots the cluster
+    // counters, then runs the measured iterations — so warmup traffic is
+    // excluded from both the latency samples and the counter deltas.
+
     // --- append-delete -----------------------------------------------
-    std::vector<double> ad;
-    for (int i = 0; i < warmup + iters; ++i) {
+    std::vector<double>& ad = out.append_delete_samples;
+    const auto ad_iter = [&] {
       sim::Time t0 = sim.now();
       Status a = dc.append_row(*dir_cap, "tmpname", {dummy_cap(1)});
       Status d = dc.delete_row(*dir_cap, "tmpname");
       if (!a.is_ok() || !d.is_ok()) {
         LOG_WARN << "append-delete failed: " << a.to_string() << " / "
                  << d.to_string();
-        continue;
+        return;
       }
-      if (i >= warmup) ad.push_back(sim::to_ms(sim.now() - t0));
-    }
+      ad.push_back(sim::to_ms(sim.now() - t0));
+    };
+    for (int i = 0; i < warmup; ++i) ad_iter();
+    ad.clear();
+    obs::Metrics::Snapshot before = bed.metrics().snapshot();
+    for (int i = 0; i < iters; ++i) ad_iter();
+    merge_window(obs::Metrics::delta(bed.metrics().snapshot(), before));
 
     // --- tmp file -----------------------------------------------------
-    std::vector<double> tf;
-    for (int i = 0; i < warmup + iters; ++i) {
+    std::vector<double>& tf = out.tmp_file_samples;
+    const auto tf_iter = [&] {
       sim::Time t0 = sim.now();
       auto file = fc.create(to_buffer("4byt"));
-      if (!file.is_ok()) continue;
+      if (!file.is_ok()) return;
       Status reg = dc.append_row(*dir_cap, "tmpfile", {*file});
       auto found = dc.lookup(*dir_cap, "tmpfile");
       Result<Buffer> data = found.is_ok()
@@ -85,21 +106,29 @@ LatencyResult measure_latencies(Testbed& bed, int warmup, int iters) {
                                 : Result<Buffer>(found.status());
       Status del = dc.delete_row(*dir_cap, "tmpfile");
       (void)fc.del(*file);
-      if (reg.is_ok() && data.is_ok() && del.is_ok() && i >= warmup) {
+      if (reg.is_ok() && data.is_ok() && del.is_ok()) {
         tf.push_back(sim::to_ms(sim.now() - t0));
       }
-    }
+    };
+    for (int i = 0; i < warmup; ++i) tf_iter();
+    tf.clear();
+    before = bed.metrics().snapshot();
+    for (int i = 0; i < iters; ++i) tf_iter();
+    merge_window(obs::Metrics::delta(bed.metrics().snapshot(), before));
 
     // --- lookup ---------------------------------------------------------
     (void)dc.append_row(*dir_cap, "fixture", {dummy_cap(2)});
-    std::vector<double> lk;
-    for (int i = 0; i < warmup + iters; ++i) {
+    std::vector<double>& lk = out.lookup_samples;
+    const auto lk_iter = [&] {
       sim::Time t0 = sim.now();
       auto res = dc.lookup(*dir_cap, "fixture");
-      if (res.is_ok() && i >= warmup) {
-        lk.push_back(sim::to_ms(sim.now() - t0));
-      }
-    }
+      if (res.is_ok()) lk.push_back(sim::to_ms(sim.now() - t0));
+    };
+    for (int i = 0; i < warmup; ++i) lk_iter();
+    lk.clear();
+    before = bed.metrics().snapshot();
+    for (int i = 0; i < iters; ++i) lk_iter();
+    merge_window(obs::Metrics::delta(bed.metrics().snapshot(), before));
 
     out.append_delete_ms = summarize(ad).mean;
     out.tmp_file_ms = summarize(tf).mean;
@@ -142,10 +171,12 @@ ThroughputResult lookup_throughput(Testbed& bed, sim::Duration warmup,
       rpc::RpcClient rpc(cm);
       dir::DirClient dc(rpc, bed.dir_port());
       while (true) {
+        const sim::Time t0 = sim.now();
         auto res = dc.lookup(shared, "entry");
         if (measuring) {
           if (res.is_ok()) {
             ++completed;
+            out.op_ms.push_back(sim::to_ms(sim.now() - t0));
           } else {
             ++failed;
           }
@@ -154,9 +185,13 @@ ThroughputResult lookup_throughput(Testbed& bed, sim::Duration warmup,
     });
   }
   sim.run_for(warmup);
+  // Snapshot at the window boundary: warmup traffic (and boot/setup) is
+  // subtracted out of every counter reported for this run.
+  const obs::Metrics::Snapshot before = bed.metrics().snapshot();
   measuring = true;
   sim.run_for(window);
   measuring = false;
+  out.window_counters = obs::Metrics::delta(bed.metrics().snapshot(), before);
 
   out.completed = completed;
   out.failed = failed;
@@ -200,11 +235,13 @@ ThroughputResult update_throughput(Testbed& bed, sim::Duration warmup,
       const cap::Capability mycap = caps[static_cast<std::size_t>(i)];
       const std::string name = "t" + std::to_string(i);
       while (true) {
+        const sim::Time t0 = sim.now();
         Status a = dc.append_row(mycap, name, {dummy_cap(9)});
         Status d = dc.delete_row(mycap, name);
         if (measuring) {
           if (a.is_ok() && d.is_ok()) {
             ++completed;  // one append-delete pair
+            out.op_ms.push_back(sim::to_ms(sim.now() - t0));
           } else {
             ++failed;
           }
@@ -213,9 +250,11 @@ ThroughputResult update_throughput(Testbed& bed, sim::Duration warmup,
     });
   }
   sim.run_for(warmup);
+  const obs::Metrics::Snapshot before = bed.metrics().snapshot();
   measuring = true;
   sim.run_for(window);
   measuring = false;
+  out.window_counters = obs::Metrics::delta(bed.metrics().snapshot(), before);
 
   out.completed = completed;
   out.failed = failed;
@@ -257,12 +296,14 @@ ThroughputResult append_throughput(Testbed& bed, sim::Duration warmup,
       const cap::Capability mycap = caps[static_cast<std::size_t>(i)];
       std::uint64_t k = 0;
       while (true) {
+        const sim::Time t0 = sim.now();
         Status a = dc.append_row(
             mycap, "u" + std::to_string(i) + "." + std::to_string(k++),
             {dummy_cap(k)});
         if (measuring) {
           if (a.is_ok()) {
             ++completed;
+            out.op_ms.push_back(sim::to_ms(sim.now() - t0));
           } else {
             ++failed;
           }
@@ -271,9 +312,11 @@ ThroughputResult append_throughput(Testbed& bed, sim::Duration warmup,
     });
   }
   sim.run_for(warmup);
+  const obs::Metrics::Snapshot before = bed.metrics().snapshot();
   measuring = true;
   sim.run_for(window);
   measuring = false;
+  out.window_counters = obs::Metrics::delta(bed.metrics().snapshot(), before);
 
   out.completed = completed;
   out.failed = failed;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "harness/testbed.h"
+#include "obs/metrics.h"
 
 namespace amoeba::harness {
 
@@ -24,6 +25,15 @@ struct LatencyResult {
   double tmp_file_ms = 0;       // full tmp-file cycle
   double lookup_ms = 0;         // one lookup
   bool ok = false;
+  // Raw per-iteration samples (measured iterations only — warmup excluded),
+  // so callers can report p50/p99 instead of just the mean.
+  std::vector<double> append_delete_samples;
+  std::vector<double> tmp_file_samples;
+  std::vector<double> lookup_samples;
+  // Per-layer counter deltas accumulated over the measured iterations only:
+  // each phase snapshots the cluster metrics after its warmup loop, so
+  // warmup traffic never leaks into the reported counts.
+  obs::Metrics::Snapshot window_counters;
 };
 
 /// Fig. 7: single-client latencies, averaged over `iters` iterations after
@@ -35,6 +45,12 @@ struct ThroughputResult {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   bool ok = false;
+  // Per-op completion latencies for operations finishing inside the
+  // measurement window (ms), and the per-layer counter deltas over that
+  // window (snapshot at window start minus snapshot at window end), so the
+  // warmup phase is excluded from every reported count.
+  std::vector<double> op_ms;
+  obs::Metrics::Snapshot window_counters;
 };
 
 /// Fig. 8: total lookups/sec with `bed.num_clients()` closed-loop clients.
@@ -54,10 +70,16 @@ ThroughputResult append_throughput(Testbed& bed,
                                    sim::Duration warmup = sim::sec(2),
                                    sim::Duration window = sim::sec(15));
 
-/// Mean and population standard deviation.
+/// Summary statistics over a sample vector. `ok` is false when the input
+/// was empty — every field is then zero and MUST NOT be reported as a
+/// measurement (benches print "no data" instead of a figure).
 struct Stats {
   double mean = 0;
-  double stddev = 0;
+  double stddev = 0;  // population standard deviation
+  double p50 = 0;
+  double p99 = 0;
+  std::size_t n = 0;
+  bool ok = false;
 };
 Stats summarize(const std::vector<double>& xs);
 

@@ -30,6 +30,8 @@ Machine::Machine(Cluster& cluster, MachineId id, std::string name)
 
 sim::Simulator& Machine::sim() { return cluster_.sim(); }
 Network& Machine::net() { return cluster_.net(); }
+obs::Metrics& Machine::metrics() { return cluster_.metrics(); }
+obs::Trace& Machine::trace() { return cluster_.trace(); }
 
 void Machine::reap_finished() {
   std::erase_if(live_, [](sim::Process* p) { return p->finished(); });
@@ -96,7 +98,7 @@ const PacketHandler* Machine::handler_for(Port port) const {
 // ---------------------------------------------------------------- Cluster
 
 Cluster::Cluster(sim::Simulator& sim, NetConfig cfg)
-    : sim_(sim), net_(sim, *this, cfg) {}
+    : sim_(sim), net_(sim, *this, cfg, &metrics_, &trace_) {}
 
 Cluster::~Cluster() { sim_.shutdown(); }
 

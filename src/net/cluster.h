@@ -15,6 +15,8 @@
 
 #include "net/network.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/mailbox.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -75,6 +77,8 @@ class Machine {
   Cluster& cluster() { return cluster_; }
   sim::Simulator& sim();
   Network& net();
+  obs::Metrics& metrics();
+  obs::Trace& trace();
   sim::FifoResource& cpu() { return cpu_; }
 
   /// Spawn a process that dies with the machine. Only valid while up.
@@ -159,9 +163,16 @@ class Cluster {
 
   sim::Simulator& sim() { return sim_; }
   Network& net() { return net_; }
+  /// Cluster-wide observability: one registry + one trace ring per
+  /// simulated deployment, shared by every layer on every machine.
+  obs::Metrics& metrics() { return metrics_; }
+  obs::Trace& trace() { return trace_; }
 
  private:
   sim::Simulator& sim_;
+  // Declared before net_: the network mirrors its counters here.
+  obs::Metrics metrics_;
+  obs::Trace trace_;
   Network net_;
   std::vector<std::unique_ptr<Machine>> machines_;
 };

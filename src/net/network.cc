@@ -65,6 +65,8 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
                           Buffer payload, std::uint32_t size) {
   if (cfg_.drop_prob > 0 && sim_.rng().uniform() < cfg_.drop_prob) {
     stats_.dropped_loss++;
+    if (mx_ != nullptr) mx_->counter("net", "dropped_loss")++;
+    if (tr_ != nullptr) tr_->instant(sim_.now(), "net", "drop_loss", dst.v);
     return;
   }
   sim::Duration lat = latency(size);
@@ -74,11 +76,13 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
     lat += cfg_.base_latency *
            static_cast<sim::Duration>(2 + sim_.rng().below(5));
     stats_.reordered++;
+    if (mx_ != nullptr) mx_->counter("net", "reordered")++;
   }
   // Duplicate delivery: the datalink layer retransmitted after a lost ack;
   // the second copy trails the first by its own (usually longer) latency.
   if (cfg_.dup_prob > 0 && sim_.rng().uniform() < cfg_.dup_prob) {
     stats_.duplicated++;
+    if (mx_ != nullptr) mx_->counter("net", "duplicated")++;
     schedule_delivery(src, dst, port, payload,
                       latency(size) + cfg_.base_latency * 3);
   }
@@ -87,23 +91,36 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
 
 void Network::schedule_delivery(MachineId src, MachineId dst, Port port,
                                 Buffer payload, sim::Duration lat) {
-  sim_.post(lat, [this, src, dst, port, payload = std::move(payload)]() mutable {
+  const sim::Time sent_at = sim_.now();
+  sim_.post(lat, [this, src, dst, port, sent_at,
+                  payload = std::move(payload)]() mutable {
     // Connectivity and liveness are evaluated at delivery time.
     Machine& m = cluster_.machine(dst);
     if (!m.up()) {
       stats_.dropped_down++;
+      if (mx_ != nullptr) mx_->counter("net", "dropped_down")++;
       return;
     }
     if (!connected(src, dst)) {
       stats_.dropped_part++;
+      if (mx_ != nullptr) mx_->counter("net", "dropped_part")++;
       return;
     }
     const PacketHandler* handler = m.handler_for(port);
     if (handler == nullptr) {
       stats_.dropped_noport++;
+      if (mx_ != nullptr) mx_->counter("net", "dropped_noport")++;
       return;
     }
     stats_.deliveries++;
+    if (mx_deliveries_ != nullptr) (*mx_deliveries_)++;
+    if (tr_ != nullptr) {
+      // arg = payload bytes, not the port: client reply ports embed a
+      // process-global salt, which would make traces differ across two
+      // same-seed runs inside one process.
+      tr_->complete(sent_at, sim_.now() - sent_at, "net", "deliver", dst.v,
+                    payload.size());
+    }
     Packet pkt;
     pkt.src = src;
     pkt.dst = dst;
@@ -117,6 +134,10 @@ void Network::schedule_delivery(MachineId src, MachineId dst, Port port,
 void Network::unicast(MachineId src, MachineId dst, Port port, Buffer payload) {
   stats_.wire_packets++;
   stats_.unicasts++;
+  if (mx_wire_ != nullptr) {
+    (*mx_wire_)++;
+    (*mx_unicasts_)++;
+  }
   auto size = static_cast<std::uint32_t>(payload.size() + 64);  // headers
   deliver_one(src, dst, port, std::move(payload), size);
 }
@@ -125,6 +146,10 @@ void Network::multicast(MachineId src, const std::vector<MachineId>& dsts,
                         Port port, Buffer payload) {
   stats_.wire_packets++;
   stats_.multicasts++;
+  if (mx_wire_ != nullptr) {
+    (*mx_wire_)++;
+    (*mx_multicasts_)++;
+  }
   auto size = static_cast<std::uint32_t>(payload.size() + 64);
   for (MachineId dst : dsts) {
     if (dst == src) continue;  // loopback handled by the caller
@@ -135,6 +160,10 @@ void Network::multicast(MachineId src, const std::vector<MachineId>& dsts,
 void Network::broadcast(MachineId src, Port port, Buffer payload) {
   stats_.wire_packets++;
   stats_.broadcasts++;
+  if (mx_wire_ != nullptr) {
+    (*mx_wire_)++;
+    (*mx_broadcasts_)++;
+  }
   auto size = static_cast<std::uint32_t>(payload.size() + 64);
   for (MachineId dst : cluster_.machine_ids()) {
     if (dst == src) continue;

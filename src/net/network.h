@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace amoeba::net {
@@ -44,11 +46,22 @@ struct NetStats {
 
 class Network {
  public:
-  Network(sim::Simulator& sim, Cluster& cluster, NetConfig cfg)
+  Network(sim::Simulator& sim, Cluster& cluster, NetConfig cfg,
+          obs::Metrics* metrics = nullptr, obs::Trace* trace = nullptr)
       : sim_(sim),
         cluster_(cluster),
         cfg_(cfg),
-        seg_groups_(static_cast<std::size_t>(std::max(1, cfg.segments))) {}
+        seg_groups_(static_cast<std::size_t>(std::max(1, cfg.segments))),
+        mx_(metrics),
+        tr_(trace) {
+    if (mx_ != nullptr) {
+      mx_wire_ = &mx_->counter("net", "wire_packets");
+      mx_unicasts_ = &mx_->counter("net", "unicasts");
+      mx_multicasts_ = &mx_->counter("net", "multicasts");
+      mx_broadcasts_ = &mx_->counter("net", "broadcasts");
+      mx_deliveries_ = &mx_->counter("net", "deliveries");
+    }
+  }
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -100,6 +113,15 @@ class Network {
   /// Per-segment partition state; empty outer vector entry = no partition.
   std::vector<std::vector<std::vector<MachineId>>> seg_groups_;
   NetStats stats_;
+  /// Cluster-wide observability (owned by the Cluster). Null only when a
+  /// Network is built standalone in a unit test.
+  obs::Metrics* mx_ = nullptr;
+  obs::Trace* tr_ = nullptr;
+  std::uint64_t* mx_wire_ = nullptr;
+  std::uint64_t* mx_unicasts_ = nullptr;
+  std::uint64_t* mx_multicasts_ = nullptr;
+  std::uint64_t* mx_broadcasts_ = nullptr;
+  std::uint64_t* mx_deliveries_ = nullptr;
 };
 
 }  // namespace amoeba::net

@@ -9,7 +9,9 @@ bool Nvram::would_fit(std::size_t data_size) const {
 }
 
 Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data) {
+  const sim::Time t0 = sim_.now();
   if (!would_fit(data.size())) {
+    if (mx_ != nullptr) mx_->counter("nvram", "full_rejects")++;
     return Status::error(Errc::full, "nvram full");
   }
   if (torn_appends_ && !data.empty()) {
@@ -38,6 +40,10 @@ Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data) {
   rec.data = std::move(data);
   log_.push_back(std::move(rec));
   ++appends_;
+  if (mx_ != nullptr) mx_->counter("nvram", "appends")++;
+  if (tr_ != nullptr) {
+    tr_->complete(t0, sim_.now() - t0, "nvram", "append", pid_);
+  }
   return log_.back().id;
 }
 
@@ -59,6 +65,7 @@ bool Nvram::cancel(std::uint64_t id) {
   used_ -= footprint(it->data.size());
   log_.erase(it);
   ++cancels_;
+  if (mx_ != nullptr) mx_->counter("nvram", "cancels")++;
   return true;
 }
 
@@ -74,6 +81,7 @@ std::size_t Nvram::cancel_tag(std::uint64_t tag) {
     }
   }
   cancels_ += n;
+  if (mx_ != nullptr && n > 0) mx_->add("nvram", "cancels", n);
   return n;
 }
 

@@ -11,6 +11,8 @@
 
 #include "common/buffer.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace amoeba::nvram {
@@ -72,6 +74,16 @@ class Nvram {
   [[nodiscard]] std::uint64_t appends() const { return appends_; }
   [[nodiscard]] std::uint64_t cancels() const { return cancels_; }
 
+  /// Hook into the cluster-wide observability layer (see
+  /// VirtualDisk::attach_obs — same after-construction pattern, because
+  /// NVRAM is built by Machine::persistent factories).
+  void attach_obs(obs::Metrics* metrics, obs::Trace* trace,
+                  std::uint32_t pid) {
+    mx_ = metrics;
+    tr_ = trace;
+    pid_ = pid;
+  }
+
  private:
   static std::size_t footprint(std::size_t data_size) {
     return data_size + 16;  // id + length bookkeeping
@@ -86,6 +98,9 @@ class Nvram {
   std::uint64_t next_id_ = 1;
   std::uint64_t appends_ = 0;
   std::uint64_t cancels_ = 0;
+  obs::Metrics* mx_ = nullptr;
+  obs::Trace* tr_ = nullptr;
+  std::uint32_t pid_ = 0;
 };
 
 }  // namespace amoeba::nvram

@@ -1,0 +1,68 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace amoeba::obs {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::string Trace::to_chrome_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"traceEvents\":[\n";
+  char line[256];
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    if (ev.dur < 0) {
+      std::snprintf(line, sizeof(line),
+                    "{\"ph\":\"i\",\"ts\":%" PRId64
+                    ",\"s\":\"p\",\"cat\":\"%s\",\"name\":\"%s\","
+                    "\"pid\":%u,\"tid\":0,\"args\":{\"v\":%" PRIu64 "}}",
+                    ev.ts, ev.cat, ev.name, ev.pid, ev.arg);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "{\"ph\":\"X\",\"ts\":%" PRId64 ",\"dur\":%" PRId64
+                    ",\"cat\":\"%s\",\"name\":\"%s\","
+                    "\"pid\":%u,\"tid\":0,\"args\":{\"v\":%" PRIu64 "}}",
+                    ev.ts, ev.dur, ev.cat, ev.name, ev.pid, ev.arg);
+    }
+    out += line;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::uint64_t Trace::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a_u64(h, dropped_);
+  for (const TraceEvent& ev : events_) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(ev.ts));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(ev.dur));
+    h = fnv1a(h, ev.cat, std::strlen(ev.cat));
+    h = fnv1a(h, ev.name, std::strlen(ev.name));
+    h = fnv1a_u64(h, ev.pid);
+    h = fnv1a_u64(h, ev.arg);
+  }
+  return h;
+}
+
+}  // namespace amoeba::obs

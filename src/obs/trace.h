@@ -1,0 +1,81 @@
+// Structured sim-time event tracing with a bounded ring buffer.
+//
+// Layers record spans (operation begin/end, message send->deliver, disk
+// and NVRAM I/O) and instants (view change, group reset, recovery phase,
+// drops) against the simulated clock. The ring keeps the newest
+// `capacity` events; `tools/simtrace` exports them as Chrome trace_event
+// JSON for chrome://tracing / Perfetto.
+//
+// Events carry only sim times, small integers and string *literals*
+// (`const char*` with static storage duration), so recording is cheap and
+// the whole trace is a pure function of the seed: digest() over two
+// same-seed runs must match, which determinism tests assert.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/time.h"
+
+namespace amoeba::obs {
+
+struct TraceEvent {
+  sim::Time ts = 0;        // event start, sim microseconds
+  sim::Duration dur = -1;  // span length; < 0 marks an instant event
+  const char* cat = "";    // layer ("net", "rpc", "group", ...)
+  const char* name = "";   // event name ("deliver", "trans", "view", ...)
+  std::uint32_t pid = 0;   // machine id (Chrome renders one lane per pid)
+  std::uint64_t arg = 0;   // free-form detail (seqno, bytes, ...)
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  void complete(sim::Time ts, sim::Duration dur, const char* cat,
+                const char* name, std::uint32_t pid, std::uint64_t arg = 0) {
+    push({ts, dur < 0 ? 0 : dur, cat, name, pid, arg});
+  }
+  void instant(sim::Time ts, const char* cat, const char* name,
+               std::uint32_t pid, std::uint64_t arg = 0) {
+    push({ts, -1, cat, name, pid, arg});
+  }
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  /// Events discarded because the ring was full (oldest-first).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Chrome trace_event "JSON Array Format": complete ("X") and instant
+  /// ("i") events, deterministic byte-for-byte for a given event sequence.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// FNV-1a over every recorded field. Two same-seed runs must agree.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  void push(TraceEvent ev) {
+    if (events_.size() >= capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(ev);
+  }
+
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace amoeba::obs

@@ -30,6 +30,7 @@ RpcServer::RpcServer(Machine& machine, Port port)
       binding_(machine, port, [this](Packet pkt) { on_packet(std::move(pkt)); }) {}
 
 void RpcServer::on_packet(Packet pkt) {
+  obs::Metrics& mx = machine_.metrics();
   // Kernel-level handling: runs in scheduler context, never blocks.
   try {
     Reader r(pkt.payload);
@@ -51,6 +52,7 @@ void RpcServer::on_packet(Packet pkt) {
         const DedupKey key{pkt.src.v, reply_port.v, xid};
         if (auto it = done_.find(key); it != done_.end()) {
           ++dups_;
+          mx.counter("rpc", "duplicates_filtered")++;
           Writer w;
           w.u8(static_cast<std::uint8_t>(MsgType::reply));
           w.u64(xid);
@@ -61,6 +63,7 @@ void RpcServer::on_packet(Packet pkt) {
         }
         if (in_flight_.count(key) != 0) {
           ++dups_;  // queued or being served: its reply is on the way
+          mx.counter("rpc", "duplicates_filtered")++;
           return;
         }
         // NOTHERE when every service thread is busy (paper Sec. 4.2).
@@ -73,6 +76,7 @@ void RpcServer::on_packet(Packet pkt) {
           req.data = r.rest();
           pending_.send(std::move(req));
         } else {
+          mx.counter("rpc", "nothere_sent")++;
           machine_.net().unicast(machine_.id(), pkt.src, reply_port,
                                  encode_header(MsgType::nothere, xid));
         }
@@ -94,6 +98,7 @@ IncomingRequest RpcServer::get_request() {
   } guard{&idle_threads_};
   IncomingRequest req = pending_.recv();
   ++served_;
+  machine_.metrics().counter("rpc", "requests_served")++;
   return req;
 }
 
@@ -148,6 +153,7 @@ std::optional<MachineId> RpcClient::current_server(Port port) const {
 
 Status RpcClient::locate(Port port, sim::Time deadline) {
   std::uint64_t xid = next_xid_++;
+  machine_.metrics().counter("rpc", "locates")++;
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::locate));
   w.u64(xid);
@@ -177,7 +183,9 @@ Status RpcClient::locate(Port port, sim::Time deadline) {
 
 Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
   sim::Simulator& sim = machine_.sim();
+  obs::Metrics& mx = machine_.metrics();
   const sim::Time deadline = sim.now() + opts.timeout;
+  const sim::Time t0 = sim.now();
   int failovers = 0;
 
   while (true) {
@@ -197,6 +205,9 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
     w.u64(xid);
     w.u64(reply_port_.v);
     w.raw(request);
+    // One Amoeba RPC = 3 packets (rpc.h): the request now, the reply and
+    // its piggybacked ack counted at reply receipt.
+    mx.counter("rpc", "packets")++;
     machine_.net().unicast(machine_.id(), server, port, w.take());
 
     // 3. Wait for the reply (or NOTHERE / timeout).
@@ -207,6 +218,7 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
         // partitioned away. Do not retry blindly (at-most-once semantics);
         // report the failure and let the caller decide.
         drop_server(port, server);
+        mx.counter("rpc", "timeouts")++;
         return Status::error(Errc::timeout, "rpc timeout");
       }
       try {
@@ -221,12 +233,21 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
         if (type == MsgType::nothere) {
           // Safe to fail over: the request was never queued server-side.
           drop_server(port, server);
+          mx.counter("rpc", "failovers")++;
           if (++failovers > opts.max_failovers) {
             return Status::error(Errc::refused, "all servers busy");
           }
           break;  // outer loop: pick next candidate or re-locate
         }
-        if (type == MsgType::reply) return r.rest();
+        if (type == MsgType::reply) {
+          mx.add("rpc", "packets", 2);  // reply + piggybacked ack
+          mx.counter("rpc", "transactions")++;
+          const double ms = sim::to_ms(sim.now() - t0);
+          mx.observe("rpc", "trans_ms", ms);
+          machine_.trace().complete(t0, sim.now() - t0, "rpc", "trans",
+                                    machine_.id().v, xid);
+          return r.rest();
+        }
       } catch (const DecodeError&) {
         // Ignore malformed strays.
       }
