@@ -2,11 +2,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/workload.h"
+#include "obs/critical_path.h"
 #include "obs/json.h"
 
 namespace amoeba::bench {
@@ -88,6 +91,44 @@ inline obs::Json stats_json(const harness::Stats& s) {
 
 inline obs::Json stats_json(const std::vector<double>& samples) {
   return stats_json(harness::summarize(samples));
+}
+
+/// Per-op critical-path leg attribution harvested from a run's trace:
+/// {"append_row": {"n": 5, "mean_ms": 89.7, "network_ms": 8.5, ...}, ...}
+/// keyed by the root span's op name, mean milliseconds per leg. The leg
+/// columns always sum to mean_ms (critical_path.h), so a reader can see
+/// exactly where each operation's latency went.
+inline obs::Json legs_json(const obs::Trace& trace) {
+  struct Agg {
+    std::size_t n = 0;
+    sim::Duration total = 0;
+    sim::Duration leg[obs::kNumLegs] = {};
+  };
+  std::map<std::string, Agg> by_op;
+  for (std::uint64_t id : obs::trace_ids(trace.events())) {
+    const obs::TraceTree tree = obs::build_tree(trace.events(), id);
+    if (tree.root == obs::TraceTree::kNone) continue;
+    const obs::TraceEvent& root = tree.spans[tree.root];
+    if (std::strcmp(root.cat, "dir") != 0) continue;
+    const obs::LegBreakdown bd = obs::critical_path(tree);
+    Agg& a = by_op[root.name];
+    ++a.n;
+    a.total += bd.total;
+    for (int l = 0; l < obs::kNumLegs; ++l) a.leg[l] += bd.leg[l];
+  }
+  obs::Json out = obs::Json::object();
+  for (const auto& [name, a] : by_op) {
+    const double inv = 1.0 / static_cast<double>(a.n);
+    obs::Json e = obs::Json::object();
+    e.set("n", obs::Json::uinteger(a.n));
+    e.set("mean_ms", obs::Json::num(sim::to_ms(a.total) * inv));
+    for (int l = 1; l < obs::kNumLegs; ++l) {
+      e.set(std::string(obs::leg_name(static_cast<obs::Leg>(l))) + "_ms",
+            obs::Json::num(sim::to_ms(a.leg[l]) * inv));
+    }
+    out.set(name, std::move(e));
+  }
+  return out;
 }
 
 /// Write the report; returns false (and complains) when the file cannot

@@ -36,6 +36,8 @@ void run(const BenchArgs& args) {
 
   harness::Stats stats[kRows][kFlavors];
   obs::Metrics::Snapshot counters[kFlavors];
+  obs::Json legs[kFlavors];
+  bool have_legs[kFlavors] = {};
   for (int f = 0; f < kFlavors; ++f) {
     std::vector<double> pooled[kRows];
     for (std::uint64_t seed : seeds) {
@@ -44,6 +46,12 @@ void run(const BenchArgs& args) {
       if (!bed.wait_ready()) continue;
       auto r = harness::measure_latencies(bed);
       if (!r.ok) continue;
+      if (!have_legs[f]) {
+        // Critical-path attribution from the first seed's span trees; one
+        // run is enough — the sim is deterministic per seed.
+        legs[f] = legs_json(bed.trace());
+        have_legs[f] = true;
+      }
       pooled[0].insert(pooled[0].end(), r.append_delete_samples.begin(),
                        r.append_delete_samples.end());
       pooled[1].insert(pooled[1].end(), r.tmp_file_samples.begin(),
@@ -122,6 +130,8 @@ void run(const BenchArgs& args) {
       fj.set(row_keys[row], std::move(e));
     }
     fj.set("window_counters", counters_json(counters[f]));
+    fj.set("critical_path_legs",
+           have_legs[f] ? std::move(legs[f]) : obs::Json::null());
     flavors_j.set(flavor_keys[f], std::move(fj));
   }
   root.set("flavors", std::move(flavors_j));

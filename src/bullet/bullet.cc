@@ -38,19 +38,19 @@ BulletServer::BulletServer(net::Machine& machine, net::Port port,
 void BulletServer::serve() {
   while (true) {
     rpc::IncomingRequest req = server_.get_request();
-    Buffer reply = handle(req.data);
+    Buffer reply = handle(req.data, req.ctx);
     server_.put_reply(req, std::move(reply));
   }
 }
 
-Buffer BulletServer::handle(const Buffer& request) {
+Buffer BulletServer::handle(const Buffer& request, obs::TraceContext ctx) {
   try {
     Reader r(request);
     auto op = static_cast<BulletOp>(r.u8());
     switch (op) {
       case BulletOp::create: {
         Buffer data = r.bytes();
-        auto res = do_create(std::move(data));
+        auto res = do_create(std::move(data), ctx);
         if (!res.is_ok()) return err_reply(res.code());
         Writer w;
         res->encode(w);
@@ -79,14 +79,15 @@ Buffer BulletServer::handle(const Buffer& request) {
   }
 }
 
-Result<cap::Capability> BulletServer::do_create(Buffer data) {
+Result<cap::Capability> BulletServer::do_create(Buffer data,
+                                                obs::TraceContext ctx) {
   machine_.metrics().counter("bullet", "creates")++;
   // One disk write per block of file data; directories are small, so this
   // is the single disk operation in the group service's bullet step.
   const std::size_t nblocks =
       std::max<std::size_t>(1, (data.size() + disk::kBlockSize - 1) / disk::kBlockSize);
   for (std::size_t i = 0; i < nblocks; ++i) {
-    Status st = disk_.data_write();
+    Status st = disk_.data_write(ctx);
     if (!st.is_ok()) return st;
   }
   // Commit point (after the disk writes succeeded).
@@ -152,11 +153,12 @@ Buffer BulletServer::do_list() {
 
 // ------------------------------------------------------------ BulletClient
 
-Result<cap::Capability> BulletClient::create(Buffer data) {
+Result<cap::Capability> BulletClient::create(Buffer data,
+                                             obs::TraceContext ctx) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(BulletOp::create));
   w.bytes(data);
-  auto res = rpc_.trans(port_, w.take());
+  auto res = rpc_.trans(port_, w.take(), {}, ctx);
   if (!res.is_ok()) return res.status();
   Reader r(*res);
   auto code = static_cast<Errc>(r.u8());
@@ -164,11 +166,12 @@ Result<cap::Capability> BulletClient::create(Buffer data) {
   return cap::Capability::decode(r);
 }
 
-Result<Buffer> BulletClient::read(const cap::Capability& c) {
+Result<Buffer> BulletClient::read(const cap::Capability& c,
+                                  obs::TraceContext ctx) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(BulletOp::read));
   c.encode(w);
-  auto res = rpc_.trans(port_, w.take());
+  auto res = rpc_.trans(port_, w.take(), {}, ctx);
   if (!res.is_ok()) return res.status();
   Reader r(*res);
   auto code = static_cast<Errc>(r.u8());
@@ -196,11 +199,11 @@ Result<std::vector<BulletClient::Listed>> BulletClient::list() {
   return out;
 }
 
-Status BulletClient::del(const cap::Capability& c) {
+Status BulletClient::del(const cap::Capability& c, obs::TraceContext ctx) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(BulletOp::del));
   c.encode(w);
-  auto res = rpc_.trans(port_, w.take());
+  auto res = rpc_.trans(port_, w.take(), {}, ctx);
   if (!res.is_ok()) return res.status();
   Reader r(*res);
   auto code = static_cast<Errc>(r.u8());

@@ -46,9 +46,9 @@ class BulletServer {
 
  private:
   void serve();
-  Buffer handle(const Buffer& request);
+  Buffer handle(const Buffer& request, obs::TraceContext ctx);
 
-  Result<cap::Capability> do_create(Buffer data);
+  Result<cap::Capability> do_create(Buffer data, obs::TraceContext ctx);
   Result<Buffer> do_read(const cap::Capability& c);
   Status do_delete(const cap::Capability& c);
   Buffer do_list();
@@ -66,9 +66,11 @@ class BulletClient {
   BulletClient(rpc::RpcClient& rpc, net::Port port) : rpc_(rpc), port_(port) {}
 
   /// Store an immutable file; returns an all-rights capability for it.
-  Result<cap::Capability> create(Buffer data);
-  Result<Buffer> read(const cap::Capability& c);
-  Status del(const cap::Capability& c);
+  /// `ctx` parents the RPC's spans (and the server-side disk spans) into
+  /// a causal tree.
+  Result<cap::Capability> create(Buffer data, obs::TraceContext ctx = {});
+  Result<Buffer> read(const cap::Capability& c, obs::TraceContext ctx = {});
+  Status del(const cap::Capability& c, obs::TraceContext ctx = {});
 
   /// Administrative enumeration of all files (capability + contents); used
   /// by servers reconstructing their metadata at boot.

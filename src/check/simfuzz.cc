@@ -3,6 +3,7 @@
 #include "common/log.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "dir/group_server.h"
 #include "dir/rpc_server.h"
 #include "harness/testbed.h"
+#include "obs/json.h"
 
 namespace amoeba::check {
 
@@ -20,6 +22,38 @@ using harness::Testbed;
 
 bool is_group(Flavor f) {
   return f == Flavor::group || f == Flavor::group_nvram;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_WARN << "simfuzz: cannot write " << path;
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// FuzzOptions::dump_prefix — the run's causal trace plus the final metric
+/// counters, for post-mortem inspection of a failing schedule.
+void dump_artifacts(const FuzzOptions& opts, Testbed& bed) {
+  if (opts.dump_prefix.empty()) return;
+  write_file(opts.dump_prefix + ".trace.json",
+             bed.trace().to_chrome_json());
+  obs::Json root = obs::Json::object();
+  root.set("flavor", obs::Json::str(flavor_token(opts.flavor)));
+  root.set("seed", obs::Json::uinteger(opts.seed));
+  root.set("end_time_us", obs::Json::uinteger(
+                              static_cast<std::uint64_t>(bed.sim().now())));
+  root.set("trace_events", obs::Json::uinteger(bed.trace().size()));
+  root.set("trace_dropped", obs::Json::uinteger(bed.trace().dropped()));
+  obs::Json counters = obs::Json::object();
+  for (const auto& [key, value] : bed.metrics().snapshot()) {
+    counters.set(key, obs::Json::uinteger(value));
+  }
+  root.set("counters", std::move(counters));
+  write_file(opts.dump_prefix + ".metrics.json", root.dump());
 }
 /// Replica state reduced to what must agree across replicas: object
 /// identity, secrets, seqnos and row layout. Bullet capabilities are
@@ -149,6 +183,7 @@ FuzzReport run_one(const FuzzOptions& opts) {
 
   if (!bed.wait_ready()) {
     report.failure = "service never became ready";
+    dump_artifacts(opts, bed);
     return report;
   }
 
@@ -221,6 +256,7 @@ FuzzReport run_one(const FuzzOptions& opts) {
     stop = true;
     sim.run_for(sim::sec(5));
     report.failure = "workload setup never succeeded";
+    dump_artifacts(opts, bed);
     return report;
   }
 
@@ -382,6 +418,7 @@ FuzzReport run_one(const FuzzOptions& opts) {
   }
   report.failure = fail;
   report.ok = fail.empty();
+  dump_artifacts(opts, bed);
   return report;
 }
 

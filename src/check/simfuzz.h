@@ -42,6 +42,12 @@ struct FuzzOptions {
   std::size_t group_history_limit = 0;
   std::vector<FaultStep> schedule;  // empty => make_schedule(seed)
   sim::Duration workload_tail = sim::sec(3);  // client time after the storm
+  /// When nonempty, dump debugging artifacts when the run ends (whatever
+  /// the verdict): <prefix>.trace.json holds the whole run's causal trace
+  /// (Chrome trace_event format) and <prefix>.metrics.json the final
+  /// counter snapshot. The CLI sets this when replaying a shrunk failing
+  /// schedule, so the artifacts land next to the repro command.
+  std::string dump_prefix;
 };
 
 struct FuzzReport {

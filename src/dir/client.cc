@@ -1,9 +1,38 @@
 #include "dir/client.h"
 
+#include "net/cluster.h"
+
 namespace amoeba::dir {
 
+namespace {
+const char* op_name(DirOp op) {
+  switch (op) {
+    case DirOp::create_dir: return "create_dir";
+    case DirOp::delete_dir: return "delete_dir";
+    case DirOp::list_dir: return "list_dir";
+    case DirOp::append_row: return "append_row";
+    case DirOp::chmod_row: return "chmod_row";
+    case DirOp::delete_row: return "delete_row";
+    case DirOp::lookup_set: return "lookup_set";
+    case DirOp::replace_set: return "replace_set";
+  }
+  return "unknown";
+}
+}  // namespace
+
 Result<Buffer> DirClient::call(Buffer request) {
-  auto res = rpc_.trans(port_, std::move(request), opts_);
+  // Each client-visible directory operation is one trace: the root "dir"
+  // span covers the whole stub call, and everything below — wire packets,
+  // server work, group protocol, disk/NVRAM — parents under it.
+  obs::Trace& tr = rpc_.machine().trace();
+  sim::Simulator& sim = rpc_.machine().sim();
+  const auto op = peek_op(request);
+  const obs::TraceContext root{tr.start_trace().trace, tr.new_span_id()};
+  const sim::Time t0 = sim.now();
+  auto res = rpc_.trans(port_, std::move(request), opts_, root);
+  tr.complete(t0, sim.now() - t0, "dir",
+              op.is_ok() ? op_name(*op) : "malformed", rpc_.machine().id().v,
+              root.trace, root.trace, root.span, 0);
   if (!res.is_ok()) return res.status();
   Status st = reply_status(*res);
   if (!st.is_ok()) return st;

@@ -50,6 +50,18 @@ struct ServerCtx {
 
   GroupDirStats* stats = nullptr;
 
+  /// Cleared when recovery starts; the first successful client reply after
+  /// it records the "first_op_served" timeline instant.
+  bool served_since_recovery = false;
+
+  // Hot-path counter handles, interned once at construction so the request
+  // loops never hash a metric name.
+  obs::Counter& mx_reads;
+  obs::Counter& mx_writes;
+  obs::Counter& mx_applies;
+  obs::Counter& mx_refused;
+  obs::Counter& mx_flushes;
+
   ServerCtx(Machine& m, GroupDirOptions o, int idx)
       : machine(m),
         opts(std::move(o)),
@@ -57,7 +69,12 @@ struct ServerCtx {
         state(opts.dir_port),
         applied_wq(m.sim()),
         completion_wq(m.sim()),
-        flush_wq(m.sim()) {}
+        flush_wq(m.sim()),
+        mx_reads(m.metrics().counter("dir.group", "reads")),
+        mx_writes(m.metrics().counter("dir.group", "writes")),
+        mx_applies(m.metrics().counter("dir.group", "applies")),
+        mx_refused(m.metrics().counter("dir.group", "refused_no_majority")),
+        mx_flushes(m.metrics().counter("dir.group", "flushes")) {}
 
   sim::Simulator& sim() { return machine.sim(); }
   sim::Time now() { return machine.sim().now(); }
@@ -100,21 +117,35 @@ Port admin_port(const ServerCtx& ctx, int index) {
 
 // --------------------------------------------------------- persistence
 
-Status write_commit_block(ServerCtx& ctx, Storage& st) {
-  return st.disk.write_block(0, ctx.cblock.serialize());
+/// Charge CPU and, when tracing, record the burst as a cpu-leg span under
+/// `parent` (the span covers queueing for the core plus the burst itself).
+void traced_cpu(ServerCtx& ctx, sim::Duration d, obs::TraceContext parent) {
+  const sim::Time t0 = ctx.now();
+  ctx.machine.cpu().use(d);
+  if (parent.active()) {
+    obs::Trace& tr = ctx.machine.trace();
+    tr.complete(t0, ctx.now() - t0, "cpu", "use", ctx.machine.id().v, 0,
+                parent.trace, tr.new_span_id(), parent.span, obs::Leg::cpu);
+  }
+}
+
+Status write_commit_block(ServerCtx& ctx, Storage& st,
+                          obs::TraceContext tctx = {}) {
+  return st.disk.write_block(0, ctx.cblock.serialize(), tctx);
 }
 
 /// Write one directory's current contents to stable storage: a new Bullet
 /// file plus the object-table block. Returns the superseded Bullet cap so
 /// the caller can remove it after waking the initiator (Fig. 5).
 Result<cap::Capability> persist_object(ServerCtx& ctx, Storage& st,
-                                       std::uint32_t obj) {
+                                       std::uint32_t obj,
+                                       obs::TraceContext tctx = {}) {
   Directory* d = ctx.state.directory(obj);
   if (ctx.state.entry(obj) == nullptr || d == nullptr) {
     return Status::error(Errc::internal, "persist of unknown object");
   }
   Buffer contents = d->serialize();
-  auto file = st.bullet.create(contents);
+  auto file = st.bullet.create(contents, tctx);
   if (!file.is_ok()) return file.status();
   // The Bullet create yields to the simulator; the group thread may have
   // applied a delete_dir for this very object while we slept, invalidating
@@ -130,7 +161,7 @@ Result<cap::Capability> persist_object(ServerCtx& ctx, Storage& st,
   e->bullet = *file;
   Writer w;
   e->encode(w);
-  Status ws = st.disk.write_block(obj, w.take());
+  Status ws = st.disk.write_block(obj, w.take(), tctx);
   if (!ws.is_ok()) return ws;
   return old;
 }
@@ -138,11 +169,12 @@ Result<cap::Capability> persist_object(ServerCtx& ctx, Storage& st,
 /// Persist a directory deletion: clear the object-table block and advance
 /// the commit-block sequence number (the paper's Fig. 4 corner case).
 Status persist_delete(ServerCtx& ctx, Storage& st, std::uint32_t obj,
-                      std::uint64_t seqno, const cap::Capability& old_file) {
-  Status ws = st.disk.write_block(obj, Buffer{});
+                      std::uint64_t seqno, const cap::Capability& old_file,
+                      obs::TraceContext tctx = {}) {
+  Status ws = st.disk.write_block(obj, Buffer{}, tctx);
   if (!ws.is_ok()) return ws;
   ctx.cblock.seqno = std::max(ctx.cblock.seqno, seqno);
-  Status cs = write_commit_block(ctx, st);
+  Status cs = write_commit_block(ctx, st, tctx);
   if (!cs.is_ok()) return cs;
   if (!old_file.is_null()) (void)st.bullet.del(old_file);
   return Status::ok();
@@ -205,7 +237,7 @@ void flush_all(ServerCtx& ctx, Storage& st) {
   (void)write_commit_block(ctx, st);
   for (std::uint64_t id : ids) (void)ctx.nv->cancel(id);
   ctx.stats->flushes++;
-  ctx.machine.metrics().counter("dir.group", "flushes")++;
+  ++ctx.mx_flushes;
 }
 
 /// Log an update in NVRAM instead of touching the disk (Sec. 4.1). Applies
@@ -213,7 +245,8 @@ void flush_all(ServerCtx& ctx, Storage& st) {
 /// in the log removes the append and logs nothing.
 void nvram_log(ServerCtx& ctx, Storage& st, const Buffer& request,
                std::uint64_t secret, std::uint64_t seqno,
-               const DirState::ApplyEffect& effect) {
+               const DirState::ApplyEffect& effect,
+               obs::TraceContext tctx = {}) {
   const std::size_t cancelled = nvlog::try_cancel(*ctx.nv, request, effect);
   if (cancelled > 0) {
     ctx.stats->nvram_cancellations += cancelled;
@@ -241,7 +274,7 @@ void nvram_log(ServerCtx& ctx, Storage& st, const Buffer& request,
   }
   (void)ctx.nv->append(
       rec.objhint != 0 ? rec.objhint : request_target(request),
-      std::move(encoded));
+      std::move(encoded), tctx);
 }
 
 // --------------------------------------------------------- boot loading
@@ -508,6 +541,10 @@ bool try_recover_once(ServerCtx& ctx, Storage& st) {
       return false;
     }
   }
+  // Timeline: at this point the set of servers that possibly performed the
+  // latest update is accounted for (present, or excused by Sec. 3.2).
+  ctx.machine.trace().instant(ctx.now(), "dir.group", "last_to_fail_resolved",
+                              ctx.machine.id().v, last);
 
   // Fetch the newest state if someone is ahead of us, or if the group has
   // already sequenced updates its kernel will never deliver to us. Our
@@ -558,6 +595,8 @@ bool try_recover_once(ServerCtx& ctx, Storage& st) {
           continue;
         }
         ctx.state = DirState::from_snapshot(snap, ctx.opts.dir_port);
+        ctx.machine.trace().instant(ctx.now(), "dir.group", "state_transfer",
+                                    ctx.machine.id().v, snap.size());
         LOG_DEBUG << ctx.machine.name() << " installed snapshot from dir"
                   << donor << ": applied=" << peer_applied
                   << " cutoff=" << cutoff;
@@ -607,6 +646,7 @@ bool try_recover_once(ServerCtx& ctx, Storage& st) {
 void run_recovery(ServerCtx& ctx, Storage& st) {
   ctx.in_recovery = true;
   ctx.stats->in_recovery = true;
+  ctx.served_since_recovery = false;
   const sim::Time t0 = ctx.now();
   ctx.machine.trace().instant(t0, "dir.group", "recovery_begin",
                               ctx.machine.id().v);
@@ -666,6 +706,8 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
     group::GroupMsg msg = std::move(*res);
     if (msg.kind != group::MsgKind::data) {
       // Membership change: record the new configuration vector.
+      ctx.machine.trace().instant(ctx.now(), "dir.group", "view_change",
+                                  ctx.machine.id().v, msg.seqno);
       update_config_from_group(ctx, st);
       if (msg.seqno > ctx.applied_seqno) ctx.applied_seqno = msg.seqno;
       ctx.applied_wq.notify_all();
@@ -697,7 +739,13 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
       continue;
     }
 
-    ctx.machine.cpu().use(ctx.opts.cpu_apply);
+    // The apply span parents under the hop that delivered the message, so
+    // every member's execution joins the initiator's tree.
+    obs::Trace& tr = ctx.machine.trace();
+    const sim::Time apply_t0 = ctx.now();
+    const std::uint64_t apply_sp = msg.ctx.active() ? tr.new_span_id() : 0;
+    const obs::TraceContext actx{msg.ctx.trace, apply_sp};
+    traced_cpu(ctx, ctx.opts.cpu_apply, actx);
     // Any applied update counts as activity for the NVRAM idle-flush
     // heuristic, even when another server was the initiator.
     ctx.last_client_op = ctx.now();
@@ -729,22 +777,27 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
     std::vector<cap::Capability> old_files;
     if (effect.any_change) {
       if (ctx.nv != nullptr) {
-        nvram_log(ctx, st, request, secret, msg.seqno, effect);
+        nvram_log(ctx, st, request, secret, msg.seqno, effect, actx);
       } else {
         for (std::uint32_t obj : effect.touched) {
-          auto old = persist_object(ctx, st, obj);
+          auto old = persist_object(ctx, st, obj, actx);
           if (old.is_ok() && !old->is_null()) old_files.push_back(*old);
         }
         for (std::uint32_t obj : effect.deleted) {
-          (void)persist_delete(ctx, st, obj, msg.seqno, deleted_file);
+          (void)persist_delete(ctx, st, obj, msg.seqno, deleted_file, actx);
         }
       }
+    }
+    if (apply_sp != 0) {
+      tr.complete(apply_t0, ctx.now() - apply_t0, "dir.group", "apply",
+                  ctx.machine.id().v, msg.seqno, actx.trace, apply_sp,
+                  msg.ctx.span);
     }
 
     // Commit: wake the initiator, then clean up old bullet files (Fig. 5).
     ctx.applied_seqno = msg.seqno;
     ctx.stats->applied_seqno = msg.seqno;
-    ctx.machine.metrics().counter("dir.group", "applies")++;
+    ++ctx.mx_applies;
     if (msg.sender == ctx.machine.id()) {
       ctx.completions[opid] = std::move(reply);
       ctx.completion_wq.notify_all();
@@ -756,6 +809,7 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
 
 void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
   obs::Metrics& mx = ctx.machine.metrics();
+  obs::Trace& tr = ctx.machine.trace();
   while (true) {
     rpc::IncomingRequest req = server.get_request();
     const sim::Time op_t0 = ctx.now();
@@ -764,15 +818,34 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
       server.put_reply(req, reply_error(Errc::bad_request));
       continue;
     }
+    // Server-side op span: parents under the request's wire span so the
+    // whole server residence joins the client's tree; put_reply threads it
+    // on to the reply wire span.
+    const std::uint64_t op_sp = req.ctx.active() ? tr.new_span_id() : 0;
+    const obs::TraceContext octx{req.ctx.trace, op_sp};
+    const auto close_op = [&](const char* name) {
+      if (op_sp != 0) {
+        tr.complete(op_t0, ctx.now() - op_t0, "dir.group", name,
+                    ctx.machine.id().v, 0, octx.trace, op_sp, req.ctx.span);
+      }
+    };
+    const auto note_served = [&] {
+      if (!ctx.served_since_recovery) {
+        ctx.served_since_recovery = true;
+        tr.instant(ctx.now(), "dir.group", "first_op_served",
+                   ctx.machine.id().v, 0, octx.trace);
+      }
+    };
     const bool rd = is_read_op(*op_res);
-    ctx.machine.cpu().use(rd ? ctx.opts.cpu_read : ctx.opts.cpu_write);
+    traced_cpu(ctx, rd ? ctx.opts.cpu_read : ctx.opts.cpu_write, octx);
     ctx.last_client_op = ctx.now();
 
     // "if (!majority()) return failure" — Fig. 5.
     if (ctx.in_recovery || !ctx.majority()) {
       ctx.stats->refused_no_majority++;
-      mx.counter("dir.group", "refused_no_majority")++;
-      server.put_reply(req, reply_error(Errc::no_majority));
+      ++ctx.mx_refused;
+      close_op("refused");
+      server.put_reply(req, reply_error(Errc::no_majority), octx);
       continue;
     }
 
@@ -787,16 +860,18 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
           ctx.applied_wq.wait_until(deadline);
         }
         if (ctx.applied_seqno < target) {
-          server.put_reply(req, reply_error(Errc::refused));
+          close_op("read");
+          server.put_reply(req, reply_error(Errc::refused), octx);
           continue;
         }
       }
-      server.put_reply(req, ctx.state.execute_read(req.data));
+      Buffer reply = ctx.state.execute_read(req.data);
       ctx.stats->reads++;
-      mx.counter("dir.group", "reads")++;
+      ++ctx.mx_reads;
       mx.observe("dir.group", "read_ms", sim::to_ms(ctx.now() - op_t0));
-      ctx.machine.trace().complete(op_t0, ctx.now() - op_t0, "dir.group",
-                                   "read", ctx.machine.id().v);
+      note_served();
+      close_op("read");
+      server.put_reply(req, std::move(reply), octx);
       continue;
     }
 
@@ -808,11 +883,13 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
     w.u64(opid);
     w.u64(secret);
     w.bytes(req.data);
-    Status st = ctx.gm->send_to_group(w.take());
+    Status st = ctx.gm->send_to_group(w.take(), octx);
     if (!st.is_ok()) {
+      close_op("write");
       server.put_reply(req, reply_error(st.code() == Errc::group_failure
                                             ? Errc::no_majority
-                                            : st.code()));
+                                            : st.code()),
+                       octx);
       continue;
     }
     const sim::Time deadline = ctx.now() + sim::sec(3);
@@ -821,17 +898,18 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
     }
     auto it = ctx.completions.find(opid);
     if (it == ctx.completions.end()) {
-      server.put_reply(req, reply_error(Errc::timeout));
+      close_op("write");
+      server.put_reply(req, reply_error(Errc::timeout), octx);
       continue;
     }
     Buffer reply = std::move(it->second);
     ctx.completions.erase(it);
-    server.put_reply(req, std::move(reply));
     ctx.stats->writes++;
-    mx.counter("dir.group", "writes")++;
+    ++ctx.mx_writes;
     mx.observe("dir.group", "write_ms", sim::to_ms(ctx.now() - op_t0));
-    ctx.machine.trace().complete(op_t0, ctx.now() - op_t0, "dir.group",
-                                 "write", ctx.machine.id().v);
+    note_served();
+    close_op("write");
+    server.put_reply(req, std::move(reply), octx);
   }
 }
 

@@ -34,8 +34,22 @@ struct NfsCtx {
       : machine(m), opts(std::move(o)), state(opts.dir_port) {}
 };
 
+void traced_cpu(NfsCtx& ctx, sim::Duration d, obs::TraceContext parent) {
+  const sim::Time t0 = ctx.machine.sim().now();
+  ctx.machine.cpu().use(d);
+  if (parent.active()) {
+    obs::Trace& tr = ctx.machine.trace();
+    tr.complete(t0, ctx.machine.sim().now() - t0, "cpu", "use",
+                ctx.machine.id().v, 0, parent.trace, tr.new_span_id(),
+                parent.span, obs::Leg::cpu);
+  }
+}
+
 void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
   obs::Metrics& mx = ctx.machine.metrics();
+  obs::Trace& tr = ctx.machine.trace();
+  obs::Counter& mx_reads = mx.counter("dir.nfs", "reads");
+  obs::Counter& mx_writes = mx.counter("dir.nfs", "writes");
   while (true) {
     rpc::IncomingRequest req = server.get_request();
     const sim::Time op_t0 = ctx.machine.sim().now();
@@ -44,16 +58,28 @@ void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
       server.put_reply(req, reply_error(Errc::bad_request));
       continue;
     }
+    // Server-side op span: parents under the request's wire span so the
+    // whole server residence joins the client's tree.
+    const std::uint64_t op_sp = req.ctx.active() ? tr.new_span_id() : 0;
+    const obs::TraceContext octx{req.ctx.trace, op_sp};
+    const auto close_op = [&](const char* name) {
+      if (op_sp != 0) {
+        tr.complete(op_t0, ctx.machine.sim().now() - op_t0, "dir.nfs", name,
+                    ctx.machine.id().v, 0, octx.trace, op_sp, req.ctx.span);
+      }
+    };
     if (is_read_op(*op_res)) {
-      ctx.machine.cpu().use(ctx.opts.cpu_read);
-      server.put_reply(req, ctx.state.execute_read(req.data));
+      traced_cpu(ctx, ctx.opts.cpu_read, octx);
+      Buffer reply = ctx.state.execute_read(req.data);
       ctx.stats->reads++;
-      mx.counter("dir.nfs", "reads")++;
+      ++mx_reads;
       mx.observe("dir.nfs", "read_ms",
                  sim::to_ms(ctx.machine.sim().now() - op_t0));
+      close_op("read");
+      server.put_reply(req, std::move(reply), octx);
       continue;
     }
-    ctx.machine.cpu().use(ctx.opts.cpu_write);
+    traced_cpu(ctx, ctx.opts.cpu_write, octx);
     DirState::ApplyEffect effect;
     const std::uint64_t secret = ctx.machine.sim().rng().next();
     Buffer reply = ctx.state.apply(req.data, secret, ++ctx.seqno, &effect);
@@ -65,13 +91,14 @@ void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
               : effect.touched.front();
       Directory* d =
           effect.touched.empty() ? nullptr : ctx.state.directory(block);
-      (void)ctx.disk->write_block(block, d ? d->serialize() : Buffer{});
+      (void)ctx.disk->write_block(block, d ? d->serialize() : Buffer{}, octx);
     }
-    server.put_reply(req, std::move(reply));
     ctx.stats->writes++;
-    mx.counter("dir.nfs", "writes")++;
+    ++mx_writes;
     mx.observe("dir.nfs", "write_ms",
                sim::to_ms(ctx.machine.sim().now() - op_t0));
+    close_op("write");
+    server.put_reply(req, std::move(reply), octx);
   }
 }
 

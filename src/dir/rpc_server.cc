@@ -57,6 +57,14 @@ struct RpcServerCtx {
   bool flushing = false;
   sim::WaitQueue flush_wq;
 
+  // Hot-path counter handles, interned once at construction so the request
+  // loops never hash a metric name.
+  obs::Counter& mx_reads;
+  obs::Counter& mx_writes;
+  obs::Counter& mx_intents;
+  obs::Counter& mx_conflicts;
+  obs::Counter& mx_flushes;
+
   RpcServerCtx(Machine& m, RpcDirOptions o, int idx)
       : machine(m),
         opts(std::move(o)),
@@ -65,7 +73,12 @@ struct RpcServerCtx {
         state(opts.dir_port),
         lock_wq(m.sim()),
         lazy_wq(m.sim()),
-        flush_wq(m.sim()) {}
+        flush_wq(m.sim()),
+        mx_reads(m.metrics().counter("dir.rpc", "reads")),
+        mx_writes(m.metrics().counter("dir.rpc", "writes")),
+        mx_intents(m.metrics().counter("dir.rpc", "intents_received")),
+        mx_conflicts(m.metrics().counter("dir.rpc", "conflicts")),
+        mx_flushes(m.metrics().counter("dir.rpc", "flushes")) {}
 
   sim::Simulator& sim() { return machine.sim(); }
   sim::Time now() { return machine.sim().now(); }
@@ -73,6 +86,18 @@ struct RpcServerCtx {
   void lock() {
     while (update_lock) lock_wq.wait();
     update_lock = true;
+  }
+
+  /// lock() that records the contended wait as a lock_wait-leg span.
+  void lock_traced(obs::TraceContext parent) {
+    const sim::Time t0 = now();
+    lock();
+    if (parent.active() && now() > t0) {
+      obs::Trace& tr = machine.trace();
+      tr.complete(t0, now() - t0, "lock", "update_lock", machine.id().v, 0,
+                  parent.trace, tr.new_span_id(), parent.span,
+                  obs::Leg::lock_wait);
+    }
   }
   void unlock() {
     update_lock = false;
@@ -93,6 +118,18 @@ struct Storage {
 Port admin_port(const RpcServerCtx& ctx, int index) {
   return Port{ctx.opts.admin_port_base.v +
               ctx.opts.dir_servers[static_cast<std::size_t>(index)].v};
+}
+
+/// Charge CPU and, when tracing, record the burst as a cpu-leg span under
+/// `parent` (the span covers queueing for the core plus the burst itself).
+void traced_cpu(RpcServerCtx& ctx, sim::Duration d, obs::TraceContext parent) {
+  const sim::Time t0 = ctx.now();
+  ctx.machine.cpu().use(d);
+  if (parent.active()) {
+    obs::Trace& tr = ctx.machine.trace();
+    tr.complete(t0, ctx.now() - t0, "cpu", "use", ctx.machine.id().v, 0,
+                parent.trace, tr.new_span_id(), parent.span, obs::Leg::cpu);
+  }
 }
 
 std::uint32_t request_target_rpc(const Buffer& request) {
@@ -138,13 +175,14 @@ Result<Unwrapped> unwrap_dir(const Buffer& b) {
 /// Write this server's disk copy of `obj` (a new bullet file) and record it
 /// in the object table. Returns the superseded file.
 Result<cap::Capability> write_copy(RpcServerCtx& ctx, Storage& st,
-                                   std::uint32_t obj) {
+                                   std::uint32_t obj,
+                                   obs::TraceContext tctx = {}) {
   ObjectEntry* e = ctx.state.entry(obj);
   Directory* d = ctx.state.directory(obj);
   if (e == nullptr || d == nullptr) {
     return Status::error(Errc::internal, "copy of unknown object");
   }
-  auto file = st.bullet.create(wrap_dir(obj, e->secret, *d));
+  auto file = st.bullet.create(wrap_dir(obj, e->secret, *d), tctx);
   if (!file.is_ok()) return file.status();
   cap::Capability old = e->bullet;
   e->bullet = *file;
@@ -183,14 +221,15 @@ void flush_all_rpc(RpcServerCtx& ctx, Storage& st) {
   }
   for (std::uint64_t id : ids) (void)ctx.nv->cancel(id);
   ctx.stats->flushes++;
-  ctx.machine.metrics().counter("dir.rpc", "flushes")++;
+  ++ctx.mx_flushes;
 }
 
 /// Log an update in NVRAM (both as the peer's intentions record and as the
 /// initiator's deferred local copy). Applies the Sec. 4.1 cancellation.
 void rpc_nvram_log(RpcServerCtx& ctx, Storage& st, const Buffer& request,
                    std::uint64_t secret, std::uint64_t seqno,
-                   const DirState::ApplyEffect& effect) {
+                   const DirState::ApplyEffect& effect,
+                   obs::TraceContext tctx = {}) {
   const std::size_t cancelled = nvlog::try_cancel(*ctx.nv, request, effect);
   if (cancelled > 0) {
     ctx.stats->nvram_cancellations += cancelled;
@@ -208,7 +247,7 @@ void rpc_nvram_log(RpcServerCtx& ctx, Storage& st, const Buffer& request,
   while (!ctx.nv->would_fit(encoded.size())) flush_all_rpc(ctx, st);
   (void)ctx.nv->append(
       rec.objhint != 0 ? rec.objhint : nvlog::request_target(request),
-      std::move(encoded));
+      std::move(encoded), tctx);
 }
 
 void flusher_loop_rpc(RpcServerCtx& ctx) {
@@ -253,7 +292,8 @@ void lazy_loop(RpcServerCtx& ctx) {
 void install_snapshot(RpcServerCtx& ctx, Storage& st, const Buffer& snap,
                       std::uint64_t peer_seqno);
 
-Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
+Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request,
+                   obs::TraceContext tctx = {}) {
   try {
     Reader r(request);
     auto op = static_cast<PeerOp>(r.u8());
@@ -262,6 +302,20 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
         const std::uint64_t seqno = r.u64();
         const std::uint64_t secret = r.u64();
         Buffer dir_request = r.bytes();
+        // Peer-side residence span: child of the intent request's wire
+        // span; lock wait, apply CPU and the intentions write nest under
+        // it, so the initiator's tree shows where the peer spent the time.
+        obs::Trace& tr = ctx.machine.trace();
+        const sim::Time t0 = ctx.now();
+        const std::uint64_t sp = tctx.active() ? tr.new_span_id() : 0;
+        const obs::TraceContext ictx{tctx.trace, sp};
+        const auto close = [&](Buffer reply) {
+          if (sp != 0) {
+            tr.complete(t0, ctx.now() - t0, "dir.rpc", "intent",
+                        ctx.machine.id().v, seqno, ictx.trace, sp, tctx.span);
+          }
+          return reply;
+        };
         // Busy performing a conflicting operation (paper Sec. 1). Server 0
         // refuses immediately; server 1 waits a bounded time, which gives
         // server 0's updates priority and breaks the symmetric-initiation
@@ -271,12 +325,17 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
         while (ctx.update_lock) {
           if (ctx.now() >= lock_deadline) {
             ctx.stats->conflicts++;
-            ctx.machine.metrics().counter("dir.rpc", "conflicts")++;
-            return reply_error(Errc::refused);
+            ++ctx.mx_conflicts;
+            return close(reply_error(Errc::refused));
           }
           ctx.lock_wq.wait_until(lock_deadline);
         }
         ctx.update_lock = true;
+        if (sp != 0 && ctx.now() > t0) {
+          tr.complete(t0, ctx.now() - t0, "lock", "update_lock",
+                      ctx.machine.id().v, 0, ictx.trace, tr.new_span_id(), sp,
+                      obs::Leg::lock_wait);
+        }
         struct Unlock {
           RpcServerCtx* c;
           ~Unlock() { c->unlock(); }
@@ -286,11 +345,11 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
           // We missed updates (we restarted, or the initiator wrote while we
           // were unreachable): a delta on the wrong baseline would corrupt
           // our state. Refuse; the initiator pushes its full state first.
-          return reply_error(Errc::conflict);
+          return close(reply_error(Errc::conflict));
         }
         ctx.stats->intents_received++;
-        ctx.machine.metrics().counter("dir.rpc", "intents_received")++;
-        ctx.machine.cpu().use(ctx.opts.cpu_apply);
+        ++ctx.mx_intents;
+        traced_cpu(ctx, ctx.opts.cpu_apply, ictx);
         // Store the intentions (update + new seqno) durably, then apply to
         // the RAM state; the disk copy of the directory follows lazily.
         if (ctx.nv == nullptr) {
@@ -298,8 +357,8 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
           iw.u64(seqno);
           iw.u64(secret);
           iw.bytes(dir_request);
-          Status ds = st.disk.write_block(kIntentBlock, iw.take());
-          if (!ds.is_ok()) return reply_error(ds.code());
+          Status ds = st.disk.write_block(kIntentBlock, iw.take(), ictx);
+          if (!ds.is_ok()) return close(reply_error(ds.code()));
         }
         cap::Capability obsolete = cap::kNullCap;
         if (auto pop = peek_op(dir_request);
@@ -314,16 +373,16 @@ Buffer handle_peer(RpcServerCtx& ctx, Storage& st, const Buffer& request) {
         ctx.last_seqno = std::max(ctx.last_seqno, seqno);
         if (ctx.nv != nullptr) {
           // NVRAM intentions double as the deferred local copy.
-          rpc_nvram_log(ctx, st, dir_request, secret, seqno, effect);
+          rpc_nvram_log(ctx, st, dir_request, secret, seqno, effect, ictx);
           if (!obsolete.is_null()) (void)st.bullet.del(obsolete);
-          return reply_ok();
+          return close(reply_ok());
         }
         for (std::uint32_t obj : effect.touched) {
           ctx.lazy_q.push_back({obj, cap::kNullCap});
         }
         if (!obsolete.is_null()) ctx.lazy_q.push_back({0, obsolete});
         ctx.lazy_wq.notify_one();
-        return reply_ok();
+        return close(reply_ok());
       }
       case PeerOp::resync: {
         Writer w;
@@ -372,6 +431,7 @@ bool sync_with_peer(RpcServerCtx& ctx, Storage& st);
 void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
   Storage st(ctx);
   obs::Metrics& mx = ctx.machine.metrics();
+  obs::Trace& tr = ctx.machine.trace();
   while (true) {
     rpc::IncomingRequest req = server.get_request();
     const sim::Time op_t0 = ctx.now();
@@ -380,17 +440,28 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
       server.put_reply(req, reply_error(Errc::bad_request));
       continue;
     }
+    // Server-side op span: parents under the request's wire span so the
+    // whole server residence joins the client's tree; put_reply threads it
+    // on to the reply wire span.
+    const std::uint64_t op_sp = req.ctx.active() ? tr.new_span_id() : 0;
+    const obs::TraceContext octx{req.ctx.trace, op_sp};
+    const auto close_op = [&](const char* name) {
+      if (op_sp != 0) {
+        tr.complete(op_t0, ctx.now() - op_t0, "dir.rpc", name,
+                    ctx.machine.id().v, 0, octx.trace, op_sp, req.ctx.span);
+      }
+    };
     const bool rd = is_read_op(*op_res);
-    ctx.machine.cpu().use(rd ? ctx.opts.cpu_read : ctx.opts.cpu_write);
+    traced_cpu(ctx, rd ? ctx.opts.cpu_read : ctx.opts.cpu_write, octx);
     ctx.last_client_op = ctx.now();
 
     if (rd) {
-      server.put_reply(req, ctx.state.execute_read(req.data));
+      Buffer reply = ctx.state.execute_read(req.data);
       ctx.stats->reads++;
-      mx.counter("dir.rpc", "reads")++;
+      ++ctx.mx_reads;
       mx.observe("dir.rpc", "read_ms", sim::to_ms(ctx.now() - op_t0));
-      ctx.machine.trace().complete(op_t0, ctx.now() - op_t0, "dir.rpc",
-                                   "read", ctx.machine.id().v);
+      close_op("read");
+      server.put_reply(req, std::move(reply), octx);
       continue;
     }
 
@@ -399,7 +470,7 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
     bool done = false;
     for (int attempt = 0; attempt <= ctx.opts.update_retries && !done;
          ++attempt) {
-      ctx.lock();
+      ctx.lock_traced(octx);
       const std::uint64_t seqno = ctx.last_seqno + 1;
       const std::uint64_t secret = ctx.sim().rng().next();
 
@@ -410,8 +481,9 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
         w.u64(seqno);
         w.u64(secret);
         w.bytes(req.data);
-        auto res = st.rpc.trans(admin_port(ctx, ctx.peer_index), w.take(),
-                                {.timeout = ctx.opts.peer_timeout});
+        auto res = st.rpc.trans(
+            admin_port(ctx, ctx.peer_index), w.take(),
+            {.timeout = ctx.opts.peer_timeout}, octx);
         if (res.is_ok()) {
           peer_st = reply_status(*res);
         } else {
@@ -459,24 +531,23 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
       ctx.last_seqno = seqno;
       if (ctx.nv != nullptr) {
         // Local copy deferred: the NVRAM record is the durability.
-        rpc_nvram_log(ctx, st, req.data, secret, seqno, effect);
+        rpc_nvram_log(ctx, st, req.data, secret, seqno, effect, octx);
       } else {
         for (std::uint32_t obj : effect.touched) {
-          auto old = write_copy(ctx, st, obj);
+          auto old = write_copy(ctx, st, obj, octx);
           if (old.is_ok() && !old->is_null()) (void)st.bullet.del(*old);
         }
       }
       if (!deleted_file.is_null()) (void)st.bullet.del(deleted_file);
       ctx.unlock();
       ctx.stats->writes++;
-      mx.counter("dir.rpc", "writes")++;
+      ++ctx.mx_writes;
       mx.observe("dir.rpc", "write_ms", sim::to_ms(ctx.now() - op_t0));
-      ctx.machine.trace().complete(op_t0, ctx.now() - op_t0, "dir.rpc",
-                                   "write", ctx.machine.id().v);
       done = true;
     }
     if (!done) reply = reply_error(Errc::refused);
-    server.put_reply(req, std::move(reply));
+    close_op("write");
+    server.put_reply(req, std::move(reply), octx);
   }
 }
 
@@ -639,7 +710,7 @@ void service_main(Machine& machine, RpcDirOptions opts) {
       Storage pst(ctx);
       while (true) {
         rpc::IncomingRequest req = peer_srv->get_request();
-        peer_srv->put_reply(req, handle_peer(ctx, pst, req.data));
+        peer_srv->put_reply(req, handle_peer(ctx, pst, req.data, req.ctx));
       }
     });
   }

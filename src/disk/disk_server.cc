@@ -19,12 +19,12 @@ DiskServer::DiskServer(net::Machine& machine, net::Port port,
 void DiskServer::serve() {
   while (true) {
     rpc::IncomingRequest req = server_.get_request();
-    Buffer reply = handle(req.data);
+    Buffer reply = handle(req.data, req.ctx);
     server_.put_reply(req, std::move(reply));
   }
 }
 
-Buffer DiskServer::handle(const Buffer& request) {
+Buffer DiskServer::handle(const Buffer& request, obs::TraceContext ctx) {
   Writer w;
   try {
     Reader r(request);
@@ -37,12 +37,12 @@ Buffer DiskServer::handle(const Buffer& request) {
     switch (op) {
       case DiskOp::write: {
         Buffer data = r.bytes();
-        Status st = disk_.write_block(block, data);
+        Status st = disk_.write_block(block, data, ctx);
         w.u8(static_cast<std::uint8_t>(st.code()));
         return w.take();
       }
       case DiskOp::read: {
-        auto res = disk_.read_block(block);
+        auto res = disk_.read_block(block, ctx);
         w.u8(static_cast<std::uint8_t>(res.code()));
         if (res.is_ok()) w.bytes(*res);
         return w.take();
@@ -50,7 +50,7 @@ Buffer DiskServer::handle(const Buffer& request) {
       case DiskOp::scan: {
         const std::uint32_t hi =
             std::min(r.u32(), partition_blocks_);
-        auto res = disk_.scan(block, hi);
+        auto res = disk_.scan(block, hi, ctx);
         w.u8(static_cast<std::uint8_t>(res.code()));
         if (res.is_ok()) {
           w.u32(static_cast<std::uint32_t>(res->size()));
@@ -72,12 +72,12 @@ Buffer DiskServer::handle(const Buffer& request) {
 }
 
 Result<std::vector<std::pair<std::uint32_t, Buffer>>> DiskClient::scan(
-    std::uint32_t lo, std::uint32_t hi) {
+    std::uint32_t lo, std::uint32_t hi, obs::TraceContext ctx) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(DiskOp::scan));
   w.u32(lo);
   w.u32(hi);
-  auto res = rpc_.trans(port_, w.take());
+  auto res = rpc_.trans(port_, w.take(), {}, ctx);
   if (!res.is_ok()) return res.status();
   Reader r(*res);
   auto code = static_cast<Errc>(r.u8());
@@ -92,12 +92,13 @@ Result<std::vector<std::pair<std::uint32_t, Buffer>>> DiskClient::scan(
   return out;
 }
 
-Status DiskClient::write_block(std::uint32_t block, const Buffer& data) {
+Status DiskClient::write_block(std::uint32_t block, const Buffer& data,
+                               obs::TraceContext ctx) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(DiskOp::write));
   w.u32(block);
   w.bytes(data);
-  auto res = rpc_.trans(port_, w.take());
+  auto res = rpc_.trans(port_, w.take(), {}, ctx);
   if (!res.is_ok()) return res.status();
   Reader r(*res);
   auto code = static_cast<Errc>(r.u8());
@@ -105,11 +106,12 @@ Status DiskClient::write_block(std::uint32_t block, const Buffer& data) {
   return Status::ok();
 }
 
-Result<Buffer> DiskClient::read_block(std::uint32_t block) {
+Result<Buffer> DiskClient::read_block(std::uint32_t block,
+                                      obs::TraceContext ctx) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(DiskOp::read));
   w.u32(block);
-  auto res = rpc_.trans(port_, w.take());
+  auto res = rpc_.trans(port_, w.take(), {}, ctx);
   if (!res.is_ok()) return res.status();
   Reader r(*res);
   auto code = static_cast<Errc>(r.u8());

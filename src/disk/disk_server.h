@@ -23,7 +23,7 @@ class DiskServer {
 
  private:
   void serve();
-  Buffer handle(const Buffer& request);
+  Buffer handle(const Buffer& request, obs::TraceContext ctx);
 
   net::Machine& machine_;
   net::Port port_;
@@ -37,11 +37,14 @@ class DiskClient {
  public:
   DiskClient(rpc::RpcClient& rpc, net::Port port) : rpc_(rpc), port_(port) {}
 
-  Status write_block(std::uint32_t block, const Buffer& data);
-  Result<Buffer> read_block(std::uint32_t block);
+  /// `ctx` parents the RPC's spans (and the server-side disk span, via
+  /// the request header) into a causal tree.
+  Status write_block(std::uint32_t block, const Buffer& data,
+                     obs::TraceContext ctx = {});
+  Result<Buffer> read_block(std::uint32_t block, obs::TraceContext ctx = {});
   /// Sequential scan of [lo, hi): non-empty blocks with their contents.
-  Result<std::vector<std::pair<std::uint32_t, Buffer>>> scan(std::uint32_t lo,
-                                                             std::uint32_t hi);
+  Result<std::vector<std::pair<std::uint32_t, Buffer>>> scan(
+      std::uint32_t lo, std::uint32_t hi, obs::TraceContext ctx = {});
 
  private:
   rpc::RpcClient& rpc_;

@@ -13,12 +13,18 @@ bool VirtualDisk::transient_fault() {
   return fault_prob_ > 0 && sim_.rng().uniform() < fault_prob_;
 }
 
-void VirtualDisk::note_io(const char* name, sim::Time t0, bool is_write) {
+void VirtualDisk::note_io(const char* name, sim::Time t0, bool is_write,
+                          obs::TraceContext ctx) {
   if (mx_ != nullptr) mx_->counter("disk", is_write ? "writes" : "reads")++;
-  if (tr_ != nullptr) tr_->complete(t0, sim_.now() - t0, "disk", name, pid_);
+  if (tr_ != nullptr) {
+    const std::uint64_t sp = ctx.active() ? tr_->new_span_id() : 0;
+    tr_->complete(t0, sim_.now() - t0, "disk", name, pid_, 0, ctx.trace, sp,
+                  ctx.span, obs::Leg::disk);
+  }
 }
 
-Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
+Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data,
+                                obs::TraceContext ctx) {
   const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   if (block >= cfg_.num_blocks) {
@@ -43,7 +49,7 @@ Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
                               data.begin() + static_cast<std::ptrdiff_t>(keep));
       ++torn_;
       ++writes_;
-      note_io("torn_write", t0, true);
+      note_io("torn_write", t0, true, ctx);
       throw;
     }
   } else {
@@ -55,11 +61,12 @@ Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data) {
   // writes are enabled above).
   blocks_[block] = data;
   ++writes_;
-  note_io("write", t0, true);
+  note_io("write", t0, true, ctx);
   return Status::ok();
 }
 
-Result<Buffer> VirtualDisk::read_block(std::uint32_t block) {
+Result<Buffer> VirtualDisk::read_block(std::uint32_t block,
+                                       obs::TraceContext ctx) {
   const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   if (block >= cfg_.num_blocks) {
@@ -68,35 +75,35 @@ Result<Buffer> VirtualDisk::read_block(std::uint32_t block) {
   spindle_.use(cfg_.read_latency);
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
-  note_io("read", t0, false);
+  note_io("read", t0, false, ctx);
   if (!blocks_[block]) {
     return Status::error(Errc::not_found, "block never written");
   }
   return *blocks_[block];
 }
 
-Status VirtualDisk::data_write() {
+Status VirtualDisk::data_write(obs::TraceContext ctx) {
   const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   spindle_.use(cfg_.data_write_latency);
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++writes_;
-  note_io("data_write", t0, true);
+  note_io("data_write", t0, true, ctx);
   return Status::ok();
 }
 
-Status VirtualDisk::data_read() {
+Status VirtualDisk::data_read(obs::TraceContext ctx) {
   const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   spindle_.use(cfg_.read_latency);
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
-  note_io("data_read", t0, false);
+  note_io("data_read", t0, false, ctx);
   return Status::ok();
 }
 
 Result<std::vector<std::pair<std::uint32_t, Buffer>>> VirtualDisk::scan(
-    std::uint32_t lo, std::uint32_t hi) {
+    std::uint32_t lo, std::uint32_t hi, obs::TraceContext ctx) {
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   hi = std::min<std::uint32_t>(hi, static_cast<std::uint32_t>(cfg_.num_blocks));
   // One seek + sequential streaming: ~32 blocks per rotation-equivalent.
@@ -105,7 +112,7 @@ Result<std::vector<std::pair<std::uint32_t, Buffer>>> VirtualDisk::scan(
   spindle_.use(cfg_.read_latency * (1 + span / 32));
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
-  note_io("scan", t0, false);
+  note_io("scan", t0, false, ctx);
   std::vector<std::pair<std::uint32_t, Buffer>> out;
   for (std::uint32_t b = lo; b < hi; ++b) {
     if (blocks_[b] && !blocks_[b]->empty()) out.emplace_back(b, *blocks_[b]);

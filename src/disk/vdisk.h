@@ -40,21 +40,24 @@ class VirtualDisk {
   VirtualDisk& operator=(const VirtualDisk&) = delete;
 
   /// Blocking write of one block (data padded/truncated to kBlockSize).
-  Status write_block(std::uint32_t block, const Buffer& data);
+  /// `ctx` (here and below) parents the recorded I/O span into a causal
+  /// tree; inactive = the op is traced as before, outside any tree.
+  Status write_block(std::uint32_t block, const Buffer& data,
+                     obs::TraceContext ctx = {});
   /// Blocking read of one block.
-  Result<Buffer> read_block(std::uint32_t block);
+  Result<Buffer> read_block(std::uint32_t block, obs::TraceContext ctx = {});
 
   /// I/O against the file-data area (bullet files). Costs the same time and
   /// counts in the stats, but the bytes live in the caller's store — the
   /// block address space here models only the admin partition.
-  Status data_write();
-  Status data_read();
+  Status data_write(obs::TraceContext ctx = {});
+  Status data_read(obs::TraceContext ctx = {});
 
   /// Sequential scan of [lo, hi): returns the non-empty blocks. Costs one
   /// seek plus streaming (far cheaper than per-block random reads); used by
   /// servers reloading their admin partition at boot.
   Result<std::vector<std::pair<std::uint32_t, Buffer>>> scan(
-      std::uint32_t lo, std::uint32_t hi);
+      std::uint32_t lo, std::uint32_t hi, obs::TraceContext ctx = {});
 
   /// Fault injection: after this call every op fails with io_error
   /// (a "head crash", paper Sec. 3.1's administrator-escape scenario).
@@ -103,7 +106,8 @@ class VirtualDisk {
   [[nodiscard]] bool transient_fault();
 
   /// Mirror a completed op into the observability layer (span [t0, now]).
-  void note_io(const char* name, sim::Time t0, bool is_write);
+  void note_io(const char* name, sim::Time t0, bool is_write,
+               obs::TraceContext ctx);
 
   sim::Simulator& sim_;
   DiskConfig cfg_;

@@ -40,6 +40,9 @@ struct AcceptRecord {
   MachineId origin;             // data: sender; join/leave: subject
   std::uint64_t origin_msgid = 0;
   Buffer payload;
+  /// Causal context of the hop that carried this record here (in-memory
+  /// only; the wire context rides in the Packet header, not the body).
+  obs::TraceContext ctx;
 };
 
 void encode_accept_body(Writer& w, const AcceptRecord& rec) {
@@ -107,6 +110,7 @@ struct GroupMember::Ctx {
     std::uint64_t origin_msgid = 0;
     std::set<std::uint16_t> acked;
     int needed = 0;
+    obs::TraceContext ctx;  // parents the COMMIT's wire span
   };
   std::map<std::uint64_t, PendingCommit> commits;  // seqno ->
   std::map<std::pair<std::uint16_t, std::uint64_t>, std::uint64_t> req_dedup;
@@ -173,16 +177,18 @@ struct GroupMember::Ctx {
   [[nodiscard]] std::uint64_t watermark() const { return next_buffer - 1; }
 
   // -- wire helpers ------------------------------------------------------
-  void send_pkt(MachineId dst, Buffer b, bool data) {
+  void send_pkt(MachineId dst, Buffer b, bool data,
+                obs::TraceContext ctx = {}, const char* what = nullptr) {
     (data ? stats.data_packets : stats.control_packets)++;
     (*(data ? mx_data : mx_ctrl))++;
-    machine.net().unicast(me, dst, cfg.port, std::move(b));
+    machine.net().unicast(me, dst, cfg.port, std::move(b), ctx, what);
   }
-  void multicast_pkt(const std::vector<MachineId>& dsts, Buffer b, bool data) {
+  void multicast_pkt(const std::vector<MachineId>& dsts, Buffer b, bool data,
+                     obs::TraceContext ctx = {}, const char* what = nullptr) {
     (data ? stats.data_packets : stats.control_packets)++;
     (*(data ? mx_data : mx_ctrl))++;
     if (data) (*mx_data_mcast)++;
-    machine.net().multicast(me, dsts, cfg.port, std::move(b));
+    machine.net().multicast(me, dsts, cfg.port, std::move(b), ctx, what);
   }
 
   // -- protocol ----------------------------------------------------------
@@ -194,7 +200,8 @@ struct GroupMember::Ctx {
   void process_in_order(const AcceptRecord& rec);
   std::uint64_t seq_assign(MsgKind kind, MachineId origin,
                            std::uint64_t msgid, Buffer payload,
-                           bool announce_bb = false);
+                           bool announce_bb = false,
+                           obs::TraceContext ctx = {});
   void stash_bb(MachineId origin, std::uint64_t msgid, Buffer payload);
   /// Common tail of accept/bb_order handling: buffer + ack.
   void take_accept(const AcceptRecord& rec, MachineId from);
@@ -311,6 +318,7 @@ void GroupMember::Ctx::process_in_order(const AcceptRecord& rec) {
   msg.kind = rec.kind;
   msg.sender = rec.origin;
   msg.payload = rec.payload;
+  msg.ctx = rec.ctx;
   ready.push_back(std::move(msg));
   recv_wq.notify_all();
 }
@@ -353,13 +361,15 @@ void GroupMember::Ctx::stash_bb(MachineId origin, std::uint64_t msgid,
 
 std::uint64_t GroupMember::Ctx::seq_assign(MsgKind kind, MachineId origin,
                                            std::uint64_t msgid,
-                                           Buffer payload, bool announce_bb) {
+                                           Buffer payload, bool announce_bb,
+                                           obs::TraceContext ctx) {
   AcceptRecord rec;
   rec.seqno = next_seqno++;
   rec.kind = kind;
   rec.origin = origin;
   rec.origin_msgid = msgid;
   rec.payload = std::move(payload);
+  rec.ctx = ctx;
 
   if (kind == MsgKind::data) {
     req_dedup[{origin.v, msgid}] = rec.seqno;
@@ -368,6 +378,7 @@ std::uint64_t GroupMember::Ctx::seq_assign(MsgKind kind, MachineId origin,
   pc.origin = origin;
   pc.origin_msgid = msgid;
   pc.needed = needed_acks();
+  pc.ctx = ctx;
   commits[rec.seqno] = std::move(pc);
 
   Writer w;
@@ -386,7 +397,8 @@ std::uint64_t GroupMember::Ctx::seq_assign(MsgKind kind, MachineId origin,
     w.u32(incarnation);
     encode_accept_body(w, rec);
   }
-  multicast_pkt(members, w.take(), kind == MsgKind::data);
+  multicast_pkt(members, w.take(), kind == MsgKind::data, ctx,
+                announce_bb ? "order" : "accept");
 
   buffer_accept(rec, me);        // self-delivery (immediate, in order)
   seq_maybe_commit(rec.seqno);   // needed may be zero (singleton group)
@@ -403,7 +415,7 @@ void GroupMember::Ctx::take_accept(const AcceptRecord& rec, MachineId from) {
     w.u32(incarnation);
     w.u64(rec.seqno);
     w.u16(me.v);
-    send_pkt(sequencer, w.take(), true);
+    send_pkt(sequencer, w.take(), true, rec.ctx, "ack");
   }
 }
 
@@ -421,7 +433,7 @@ void GroupMember::Ctx::seq_maybe_commit(std::uint64_t seqno) {
     w.u64(gid);
     w.u32(incarnation);
     w.u64(pc.origin_msgid);
-    send_pkt(pc.origin, w.take(), true);
+    send_pkt(pc.origin, w.take(), true, pc.ctx, "commit");
   }
   commits.erase(it);
 }
@@ -546,17 +558,19 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
           w.u64(gid);
           w.u32(incarnation);
           w.u64(msgid);
-          send_pkt(origin, w.take(), true);
+          send_pkt(origin, w.take(), true, pkt.ctx, "commit");
         }
         return;
       }
-      seq_assign(MsgKind::data, origin, msgid, std::move(payload));
+      seq_assign(MsgKind::data, origin, msgid, std::move(payload),
+                 /*announce_bb=*/false, pkt.ctx);
       return;
     }
 
     case WireType::accept: {
       const std::uint32_t inc = r.u32();
       AcceptRecord rec = decode_accept_body(r);
+      rec.ctx = pkt.ctx;
       if (state == MemberState::left) return;
       if (inc < incarnation) return;  // stale sequencer
       if (inc > incarnation) {
@@ -597,7 +611,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       if (sit == bb_stash.end()) return;
       Buffer data = sit->second;
       seq_assign(MsgKind::data, origin, msgid, std::move(data),
-                 /*announce_bb=*/true);
+                 /*announce_bb=*/true, pkt.ctx);
       return;
     }
 
@@ -628,6 +642,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         return;
       }
       rec.payload = it->second;
+      rec.ctx = pkt.ctx;
       take_accept(rec, pkt.src);
       return;
     }
@@ -1024,18 +1039,23 @@ GroupMember::~GroupMember() {
   ctx_->endpoint->mailbox().send(net::Packet{});
 }
 
-Status GroupMember::send_to_group(Buffer payload) {
+Status GroupMember::send_to_group(Buffer payload, obs::TraceContext ctx) {
   Ctx& c = *ctx_;
   if (c.state != MemberState::normal) {
     return Status::error(Errc::group_failure, "group not operational");
   }
   const std::uint64_t msgid = c.next_msgid++;
   const sim::Time t0 = c.now();
+  // The send span: REQ/ACCEPT/ACK/COMMIT wire spans and every member's
+  // delivery work hang under it.
+  const std::uint64_t sp = ctx.active() ? c.tr->new_span_id() : 0;
+  const obs::TraceContext sctx{ctx.trace, sp};
   const auto finish_ok = [&] {
     c.stats.sends++;
     c.mx->counter("group", "sends")++;
     c.mx->observe("group", "send_ms", sim::to_ms(c.now() - t0));
-    c.tr->complete(t0, c.now() - t0, "group", "send", c.me.v, msgid);
+    c.tr->complete(t0, c.now() - t0, "group", "send", c.me.v, msgid,
+                   ctx.trace, sp, ctx.span);
   };
 
   for (int attempt = 0; attempt <= c.cfg.send_retries; ++attempt) {
@@ -1044,7 +1064,8 @@ Status GroupMember::send_to_group(Buffer payload) {
       // Sequencer-origin sends use the PB shape under either method: one
       // full multicast is already optimal.
       if (!c.req_dedup.contains({c.me.v, msgid})) {
-        c.seq_assign(MsgKind::data, c.me, msgid, payload);
+        c.seq_assign(MsgKind::data, c.me, msgid, payload,
+                     /*announce_bb=*/false, sctx);
       } else if (auto it = c.req_dedup.find({c.me.v, msgid});
                  !c.commits.contains(it->second)) {
         c.complete_send(msgid, Status::ok());
@@ -1060,7 +1081,7 @@ Status GroupMember::send_to_group(Buffer payload) {
       w.u16(c.me.v);
       w.u64(msgid);
       w.bytes(payload);
-      c.multicast_pkt(c.members, w.take(), true);
+      c.multicast_pkt(c.members, w.take(), true, sctx, "data");
     } else {
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireType::req));
@@ -1069,7 +1090,7 @@ Status GroupMember::send_to_group(Buffer payload) {
       w.u16(c.me.v);
       w.u64(msgid);
       w.bytes(payload);
-      c.send_pkt(c.sequencer, w.take(), true);
+      c.send_pkt(c.sequencer, w.take(), true, sctx, "req");
     }
     const sim::Time wait_end = c.now() + c.cfg.send_retry;
     while (c.now() < wait_end) {

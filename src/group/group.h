@@ -54,6 +54,10 @@ struct GroupMsg {
   MsgKind kind = MsgKind::data;
   MachineId sender;   // data: origin member; join/leave: subject member
   Buffer payload;
+  /// Causal context of the send that produced this message (the hop that
+  /// delivered it to this member); application apply/persist work parents
+  /// under it so all members' spans join the sender's tree.
+  obs::TraceContext ctx;
 };
 
 enum class MemberState : std::uint8_t { normal, resetting, failed, left };
@@ -140,8 +144,9 @@ class GroupMember {
   /// SendToGroup with the configured resilience degree. Blocks until the
   /// message is committed (totally ordered + r-resilient). On failure the
   /// message may or may not eventually be delivered (at-most-once is the
-  /// application's problem, as in Amoeba).
-  Status send_to_group(Buffer payload);
+  /// application's problem, as in Amoeba). `ctx` parents the send's span
+  /// tree (REQ/ACCEPT/ACK/COMMIT wire spans and every member's delivery).
+  Status send_to_group(Buffer payload, obs::TraceContext ctx = {});
 
   /// ReceiveFromGroup: next message in the total order. Returns
   /// Errc::group_failure when the kernel has detected a failure and no

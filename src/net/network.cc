@@ -61,8 +61,53 @@ void Network::heal_partition(int segment) {
   seg_groups_[static_cast<std::size_t>(segment)].clear();
 }
 
+std::uint64_t Network::open_wire_span(MachineId src, obs::TraceContext ctx,
+                                      const char* what, const char* fallback,
+                                      std::uint32_t size) {
+  if (tr_ == nullptr || !ctx.active()) return 0;
+  const std::uint64_t id = tr_->new_span_id();
+  WireSpan w;
+  w.t0 = sim_.now();
+  w.last = sim_.now();  // dur 0 if every copy is dropped at send
+  w.trace = ctx.trace;
+  w.span = id;
+  w.parent = ctx.span;
+  w.name = what != nullptr ? what : fallback;
+  w.pid = src.v;
+  w.bytes = size;
+  wire_spans_.emplace(id, w);
+  return id;
+}
+
+void Network::finalize_wire(std::uint64_t wire) {
+  auto it = wire_spans_.find(wire);
+  if (it == wire_spans_.end()) return;
+  const WireSpan& w = it->second;
+  tr_->complete(w.t0, w.last - w.t0, "net", w.name, w.pid, w.bytes, w.trace,
+                w.span, w.parent, obs::Leg::network);
+  wire_spans_.erase(it);
+}
+
+void Network::finish_send(std::uint64_t wire) {
+  if (wire == 0) return;
+  auto it = wire_spans_.find(wire);
+  if (it == wire_spans_.end()) return;
+  it->second.send_done = true;
+  if (it->second.remaining == 0) finalize_wire(wire);
+}
+
+void Network::resolve_wire(std::uint64_t wire) {
+  if (wire == 0) return;
+  auto it = wire_spans_.find(wire);
+  if (it == wire_spans_.end()) return;
+  WireSpan& w = it->second;
+  w.last = std::max(w.last, sim_.now());
+  if (--w.remaining == 0 && w.send_done) finalize_wire(wire);
+}
+
 void Network::deliver_one(MachineId src, MachineId dst, Port port,
-                          Buffer payload, std::uint32_t size) {
+                          Buffer payload, std::uint32_t size,
+                          obs::TraceContext pkt_ctx, std::uint64_t wire) {
   if (cfg_.drop_prob > 0 && sim_.rng().uniform() < cfg_.drop_prob) {
     stats_.dropped_loss++;
     if (mx_ != nullptr) mx_->counter("net", "dropped_loss")++;
@@ -84,16 +129,23 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
     stats_.duplicated++;
     if (mx_ != nullptr) mx_->counter("net", "duplicated")++;
     schedule_delivery(src, dst, port, payload,
-                      latency(size) + cfg_.base_latency * 3);
+                      latency(size) + cfg_.base_latency * 3, pkt_ctx, wire);
   }
-  schedule_delivery(src, dst, port, std::move(payload), lat);
+  schedule_delivery(src, dst, port, std::move(payload), lat, pkt_ctx, wire);
 }
 
 void Network::schedule_delivery(MachineId src, MachineId dst, Port port,
-                                Buffer payload, sim::Duration lat) {
+                                Buffer payload, sim::Duration lat,
+                                obs::TraceContext pkt_ctx,
+                                std::uint64_t wire) {
   const sim::Time sent_at = sim_.now();
-  sim_.post(lat, [this, src, dst, port, sent_at,
+  if (wire != 0) {
+    auto it = wire_spans_.find(wire);
+    if (it != wire_spans_.end()) it->second.remaining++;
+  }
+  sim_.post(lat, [this, src, dst, port, sent_at, pkt_ctx, wire,
                   payload = std::move(payload)]() mutable {
+    resolve_wire(wire);
     // Connectivity and liveness are evaluated at delivery time.
     Machine& m = cluster_.machine(dst);
     if (!m.up()) {
@@ -127,11 +179,13 @@ void Network::schedule_delivery(MachineId src, MachineId dst, Port port,
     pkt.port = port;
     pkt.size_bytes = static_cast<std::uint32_t>(payload.size());
     pkt.payload = std::move(payload);
+    pkt.ctx = pkt_ctx;
     (*handler)(std::move(pkt));
   });
 }
 
-void Network::unicast(MachineId src, MachineId dst, Port port, Buffer payload) {
+void Network::unicast(MachineId src, MachineId dst, Port port, Buffer payload,
+                      obs::TraceContext ctx, const char* what) {
   stats_.wire_packets++;
   stats_.unicasts++;
   if (mx_wire_ != nullptr) {
@@ -139,11 +193,17 @@ void Network::unicast(MachineId src, MachineId dst, Port port, Buffer payload) {
     (*mx_unicasts_)++;
   }
   auto size = static_cast<std::uint32_t>(payload.size() + 64);  // headers
-  deliver_one(src, dst, port, std::move(payload), size);
+  const std::uint64_t wire = open_wire_span(src, ctx, what, "unicast", size);
+  // The delivered packet's header carries {trace, this hop's span}: the
+  // receiver parents its work under the wire span, linking the tree.
+  deliver_one(src, dst, port, std::move(payload), size, {ctx.trace, wire},
+              wire);
+  finish_send(wire);
 }
 
 void Network::multicast(MachineId src, const std::vector<MachineId>& dsts,
-                        Port port, Buffer payload) {
+                        Port port, Buffer payload, obs::TraceContext ctx,
+                        const char* what) {
   stats_.wire_packets++;
   stats_.multicasts++;
   if (mx_wire_ != nullptr) {
@@ -151,13 +211,16 @@ void Network::multicast(MachineId src, const std::vector<MachineId>& dsts,
     (*mx_multicasts_)++;
   }
   auto size = static_cast<std::uint32_t>(payload.size() + 64);
+  const std::uint64_t wire = open_wire_span(src, ctx, what, "multicast", size);
   for (MachineId dst : dsts) {
     if (dst == src) continue;  // loopback handled by the caller
-    deliver_one(src, dst, port, payload, size);
+    deliver_one(src, dst, port, payload, size, {ctx.trace, wire}, wire);
   }
+  finish_send(wire);
 }
 
-void Network::broadcast(MachineId src, Port port, Buffer payload) {
+void Network::broadcast(MachineId src, Port port, Buffer payload,
+                        obs::TraceContext ctx, const char* what) {
   stats_.wire_packets++;
   stats_.broadcasts++;
   if (mx_wire_ != nullptr) {
@@ -165,10 +228,12 @@ void Network::broadcast(MachineId src, Port port, Buffer payload) {
     (*mx_broadcasts_)++;
   }
   auto size = static_cast<std::uint32_t>(payload.size() + 64);
+  const std::uint64_t wire = open_wire_span(src, ctx, what, "broadcast", size);
   for (MachineId dst : cluster_.machine_ids()) {
     if (dst == src) continue;
-    deliver_one(src, dst, port, payload, size);
+    deliver_one(src, dst, port, payload, size, {ctx.trace, wire}, wire);
   }
+  finish_send(wire);
 }
 
 }  // namespace amoeba::net

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/packet.h"
@@ -65,12 +66,20 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  void unicast(MachineId src, MachineId dst, Port port, Buffer payload);
+  /// `ctx` (optional) makes the send part of a causal tree: one network
+  /// span per *wire* packet (a multicast is one span however many
+  /// destinations it reaches), parented under ctx.span and closed when its
+  /// last scheduled delivery resolves. `what` labels the span ("request",
+  /// "ack", "accept", ...); defaults to the send kind.
+  void unicast(MachineId src, MachineId dst, Port port, Buffer payload,
+               obs::TraceContext ctx = {}, const char* what = nullptr);
   /// One wire packet delivered to every destination (Ethernet multicast).
   void multicast(MachineId src, const std::vector<MachineId>& dsts, Port port,
-                 Buffer payload);
+                 Buffer payload, obs::TraceContext ctx = {},
+                 const char* what = nullptr);
   /// One wire packet delivered to every attached machine except the sender.
-  void broadcast(MachineId src, Port port, Buffer payload);
+  void broadcast(MachineId src, Port port, Buffer payload,
+                 obs::TraceContext ctx = {}, const char* what = nullptr);
 
   /// Install a partition on one segment: machines in different groups
   /// cannot communicate over it. Machines not listed in any group are
@@ -99,10 +108,36 @@ class Network {
   void set_reorder_prob(double p) { cfg_.reorder_prob = p; }
 
  private:
+  /// In-flight network span for one wire packet. `remaining` counts
+  /// scheduled deliveries (including dup copies) not yet resolved; the
+  /// span is recorded once `send_done && remaining == 0`, with duration
+  /// up to the last delivery (0 if every copy was dropped at send).
+  struct WireSpan {
+    sim::Time t0 = 0;
+    sim::Time last = 0;
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+    std::uint64_t parent = 0;
+    const char* name = "";
+    std::uint32_t pid = 0;  // source machine
+    std::uint64_t bytes = 0;
+    int remaining = 0;
+    bool send_done = false;
+  };
+
+  std::uint64_t open_wire_span(MachineId src, obs::TraceContext ctx,
+                               const char* what, const char* fallback,
+                               std::uint32_t size);
+  void finish_send(std::uint64_t wire);
+  void resolve_wire(std::uint64_t wire);
+  void finalize_wire(std::uint64_t wire);
+
   void deliver_one(MachineId src, MachineId dst, Port port, Buffer payload,
-                   std::uint32_t size);
+                   std::uint32_t size, obs::TraceContext pkt_ctx,
+                   std::uint64_t wire);
   void schedule_delivery(MachineId src, MachineId dst, Port port,
-                         Buffer payload, sim::Duration lat);
+                         Buffer payload, sim::Duration lat,
+                         obs::TraceContext pkt_ctx, std::uint64_t wire);
   sim::Duration latency(std::uint32_t size_bytes);
   [[nodiscard]] bool segment_connected(int segment, MachineId a,
                                        MachineId b) const;
@@ -117,6 +152,8 @@ class Network {
   /// Network is built standalone in a unit test.
   obs::Metrics* mx_ = nullptr;
   obs::Trace* tr_ = nullptr;
+  /// Traced wire packets in flight, keyed by their span id.
+  std::unordered_map<std::uint64_t, WireSpan> wire_spans_;
   std::uint64_t* mx_wire_ = nullptr;
   std::uint64_t* mx_unicasts_ = nullptr;
   std::uint64_t* mx_multicasts_ = nullptr;

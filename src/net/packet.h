@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/buffer.h"
+#include "obs/trace.h"
 
 namespace amoeba::net {
 
@@ -35,6 +36,9 @@ struct Packet {
   Port port;
   Buffer payload;
   std::uint32_t size_bytes = 0;
+  /// Causal header: {trace id, wire-span id of this hop}. Receivers parent
+  /// their work under ctx.span so one operation forms one span tree.
+  obs::TraceContext ctx;
 };
 
 }  // namespace amoeba::net

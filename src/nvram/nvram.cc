@@ -8,7 +8,8 @@ bool Nvram::would_fit(std::size_t data_size) const {
   return used_ + footprint(data_size) <= cfg_.capacity_bytes;
 }
 
-Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data) {
+Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data,
+                                    obs::TraceContext ctx) {
   const sim::Time t0 = sim_.now();
   if (!would_fit(data.size())) {
     if (mx_ != nullptr) mx_->counter("nvram", "full_rejects")++;
@@ -42,7 +43,9 @@ Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data) {
   ++appends_;
   if (mx_ != nullptr) mx_->counter("nvram", "appends")++;
   if (tr_ != nullptr) {
-    tr_->complete(t0, sim_.now() - t0, "nvram", "append", pid_);
+    const std::uint64_t sp = ctx.active() ? tr_->new_span_id() : 0;
+    tr_->complete(t0, sim_.now() - t0, "nvram", "append", pid_, 0, ctx.trace,
+                  sp, ctx.span, obs::Leg::nvram);
   }
   return log_.back().id;
 }

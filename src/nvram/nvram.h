@@ -40,8 +40,10 @@ class Nvram {
   /// Append a record. Fails with Errc::full when it does not fit; the
   /// caller must flush first. With torn appends enabled, a machine crash
   /// during the write leaves a truncated tail record behind (the battery
-  /// keeps the partial bytes; the crash interrupts the copy).
-  Result<std::uint64_t> append(std::uint64_t tag, Buffer data);
+  /// keeps the partial bytes; the crash interrupts the copy). `ctx`
+  /// parents the recorded nvram span into a causal tree.
+  Result<std::uint64_t> append(std::uint64_t tag, Buffer data,
+                               obs::TraceContext ctx = {});
 
   /// Fault injection: model a crash mid-append as a partial tail record
   /// instead of the default all-or-nothing semantics.

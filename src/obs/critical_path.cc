@@ -1,0 +1,125 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace amoeba::obs {
+
+std::vector<std::uint64_t> trace_ids(const std::deque<TraceEvent>& events) {
+  std::vector<std::uint64_t> out;
+  for (const TraceEvent& ev : events) {
+    if (ev.trace == 0) continue;
+    if (std::find(out.begin(), out.end(), ev.trace) == out.end()) {
+      out.push_back(ev.trace);
+    }
+  }
+  return out;
+}
+
+TraceTree build_tree(const std::deque<TraceEvent>& events,
+                     std::uint64_t trace_id) {
+  TraceTree t;
+  t.trace = trace_id;
+  for (const TraceEvent& ev : events) {
+    if (ev.trace != trace_id || ev.span == 0 || ev.dur < 0) continue;
+    t.spans.push_back(ev);
+  }
+  const std::size_t n = t.spans.size();
+  t.parent_of.assign(n, TraceTree::kNone);
+  t.depth_of.assign(n, 0);
+
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) by_id[t.spans[i].span] = i;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = t.spans[i];
+    if (ev.parent == 0) {
+      ++t.num_roots;
+      if (t.root == TraceTree::kNone) t.root = i;
+      t.depth_of[i] = 1;
+      continue;
+    }
+    auto it = by_id.find(ev.parent);
+    if (it == by_id.end()) {
+      ++t.orphans;
+    } else {
+      t.parent_of[i] = it->second;
+    }
+  }
+
+  // Depths: walk each span's parent chain (memoized via depth_of). Cycles
+  // cannot occur — span ids are allocated monotonically and a span's parent
+  // id is always an earlier allocation.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t.depth_of[i] != 0 || t.parent_of[i] == TraceTree::kNone) continue;
+    std::vector<std::size_t> chain;
+    std::size_t j = i;
+    while (j != TraceTree::kNone && t.depth_of[j] == 0) {
+      chain.push_back(j);
+      j = t.parent_of[j];
+    }
+    int d = j == TraceTree::kNone ? 0 : t.depth_of[j];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      t.depth_of[*it] = d == 0 ? 0 : ++d;
+    }
+  }
+  return t;
+}
+
+LegBreakdown critical_path(const TraceTree& tree) {
+  LegBreakdown out;
+  if (tree.root == TraceTree::kNone) return out;
+  const TraceEvent& root = tree.spans[tree.root];
+  const sim::Time lo = root.ts;
+  const sim::Time hi = root.ts + root.dur;
+  out.total = root.dur;
+  out.span_count = tree.spans.size();
+
+  // Clamp every span to the root interval and collect the elementary
+  // boundaries of the sweep.
+  struct Clamped {
+    sim::Time a, b;
+    int depth;
+    sim::Time ts;
+    std::uint64_t span;
+    Leg leg;
+  };
+  std::vector<Clamped> spans;
+  spans.reserve(tree.spans.size());
+  std::vector<sim::Time> cuts{lo, hi};
+  for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+    const TraceEvent& ev = tree.spans[i];
+    if (tree.depth_of[i] == 0) continue;  // orphan: not on the tree
+    const sim::Time a = std::max(lo, ev.ts);
+    const sim::Time b = std::min(hi, ev.ts + ev.dur);
+    if (a >= b) continue;  // zero-length or outside the root window
+    spans.push_back({a, b, tree.depth_of[i], ev.ts, ev.span, ev.leg});
+    cuts.push_back(a);
+    cuts.push_back(b);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    const sim::Time a = cuts[k];
+    const sim::Time b = cuts[k + 1];
+    const Clamped* best = nullptr;
+    for (const Clamped& c : spans) {
+      if (c.a > a || c.b < b) continue;
+      if (best == nullptr || c.depth > best->depth ||
+          (c.depth == best->depth &&
+           (c.ts > best->ts || (c.ts == best->ts && c.span > best->span)))) {
+        best = &c;
+      }
+    }
+    // Uncovered or covered only by structural spans: queueing — the op
+    // existed but no modeled resource was charged.
+    Leg leg = best == nullptr || best->leg == Leg::none ? Leg::queueing
+                                                        : best->leg;
+    out.leg[static_cast<int>(leg)] += b - a;
+  }
+  return out;
+}
+
+}  // namespace amoeba::obs

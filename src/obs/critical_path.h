@@ -1,0 +1,85 @@
+// Critical-path analysis over causal span trees (trace.h).
+//
+// A traced directory operation leaves one tree of complete events sharing a
+// trace id: the client's root "dir" span, wire spans for every packet,
+// server residence spans, and leaf spans tagged with a resource Leg (cpu,
+// disk, nvram, network, lock_wait). This module rebuilds the tree and
+// attributes every microsecond of the root's wall time to a leg:
+//
+//   * the root interval is swept as a timeline; each elementary interval
+//     belongs to the *deepest* span covering it (ties broken by depth,
+//     then start time, then span id — all deterministic),
+//   * intervals whose deepest cover carries Leg::none (root, interior
+//     protocol spans) count as queueing — time the operation existed but
+//     no modeled resource was charged,
+//   * spans extending past the root's end (e.g. a replica still persisting
+//     after the client got its reply) are clamped: attribution covers
+//     exactly [root.start, root.end], so the per-leg sums add up to the
+//     measured end-to-end latency with zero unexplained gap.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace amoeba::obs {
+
+/// One operation's span tree, rebuilt from the flat event ring.
+struct TraceTree {
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::uint64_t trace = 0;
+  std::vector<TraceEvent> spans;  // complete events with a span id
+  std::vector<std::size_t> parent_of;  // index into spans, kNone for roots
+  std::vector<int> depth_of;           // root = 1; orphans = 0 until linked
+  std::size_t root = kNone;            // unique span with parent id 0
+  std::size_t num_roots = 0;
+  /// Spans whose parent id is nonzero but absent from the tree (their
+  /// parent span was never completed, or fell out of the ring).
+  std::size_t orphans = 0;
+
+  /// True when the tree is one connected component: exactly one root and
+  /// every other span transitively reachable from it.
+  [[nodiscard]] bool connected() const {
+    return root != kNone && num_roots == 1 && orphans == 0;
+  }
+
+  [[nodiscard]] std::size_t count(Leg leg) const {
+    std::size_t n = 0;
+    for (const TraceEvent& ev : spans) n += ev.leg == leg ? 1 : 0;
+    return n;
+  }
+};
+
+/// Per-leg wall-time attribution of one operation (microseconds).
+struct LegBreakdown {
+  sim::Duration total = 0;            // root span duration
+  sim::Duration leg[kNumLegs] = {};   // indexed by static_cast<int>(Leg)
+  std::size_t span_count = 0;
+
+  [[nodiscard]] sim::Duration of(Leg l) const {
+    return leg[static_cast<int>(l)];
+  }
+  /// Always equals `total` by construction; exposed so tests can assert it.
+  [[nodiscard]] sim::Duration leg_sum() const {
+    sim::Duration s = 0;
+    for (sim::Duration d : leg) s += d;
+    return s;
+  }
+};
+
+/// All trace ids appearing in `events`, in first-appearance order.
+[[nodiscard]] std::vector<std::uint64_t> trace_ids(
+    const std::deque<TraceEvent>& events);
+
+/// Rebuild the span tree of `trace_id` from the event ring.
+[[nodiscard]] TraceTree build_tree(const std::deque<TraceEvent>& events,
+                                   std::uint64_t trace_id);
+
+/// Sweep the root interval and attribute every microsecond to a leg.
+/// Returns a zero breakdown when the tree has no root.
+[[nodiscard]] LegBreakdown critical_path(const TraceTree& tree);
+
+}  // namespace amoeba::obs

@@ -24,6 +24,12 @@
 
 namespace amoeba::obs {
 
+/// A pre-interned counter handle: `counter()` returns a stable reference
+/// (std::map nodes never move, and reset() zeroes values without erasing
+/// keys), so layers look their counters up once at construction and bump
+/// through the handle on the hot path — no string concatenation per event.
+using Counter = std::uint64_t;
+
 /// Summary of one histogram (sim-time latency samples, milliseconds).
 struct HistSummary {
   std::uint64_t n = 0;

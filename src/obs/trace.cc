@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <unordered_map>
+#include <utility>
 
 namespace amoeba::obs {
 
@@ -23,28 +25,85 @@ std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
 
 }  // namespace
 
+const char* leg_name(Leg leg) {
+  switch (leg) {
+    case Leg::none:
+      return "none";
+    case Leg::network:
+      return "network";
+    case Leg::queueing:
+      return "queueing";
+    case Leg::cpu:
+      return "cpu";
+    case Leg::disk:
+      return "disk";
+    case Leg::nvram:
+      return "nvram";
+    case Leg::lock_wait:
+      return "lock_wait";
+  }
+  return "?";
+}
+
 std::string Trace::to_chrome_json() const {
   std::string out;
-  out.reserve(events_.size() * 96 + 64);
+  out.reserve(events_.size() * 128 + 64);
   out += "{\"traceEvents\":[\n";
-  char line[256];
+  char line[512];
   bool first = true;
   for (const TraceEvent& ev : events_) {
     if (!first) out += ",\n";
     first = false;
+    char args[224];
+    if (ev.span != 0) {
+      std::snprintf(args, sizeof(args),
+                    "{\"v\":%" PRIu64 ",\"trace\":%" PRIu64
+                    ",\"span\":%" PRIu64 ",\"parent\":%" PRIu64
+                    ",\"leg\":\"%s\"}",
+                    ev.arg, ev.trace, ev.span, ev.parent, leg_name(ev.leg));
+    } else if (ev.trace != 0) {
+      std::snprintf(args, sizeof(args),
+                    "{\"v\":%" PRIu64 ",\"trace\":%" PRIu64 "}", ev.arg,
+                    ev.trace);
+    } else {
+      std::snprintf(args, sizeof(args), "{\"v\":%" PRIu64 "}", ev.arg);
+    }
     if (ev.dur < 0) {
       std::snprintf(line, sizeof(line),
                     "{\"ph\":\"i\",\"ts\":%" PRId64
                     ",\"s\":\"p\",\"cat\":\"%s\",\"name\":\"%s\","
-                    "\"pid\":%u,\"tid\":0,\"args\":{\"v\":%" PRIu64 "}}",
-                    ev.ts, ev.cat, ev.name, ev.pid, ev.arg);
+                    "\"pid\":%u,\"tid\":0,\"args\":%s}",
+                    ev.ts, ev.cat, ev.name, ev.pid, args);
     } else {
       std::snprintf(line, sizeof(line),
                     "{\"ph\":\"X\",\"ts\":%" PRId64 ",\"dur\":%" PRId64
                     ",\"cat\":\"%s\",\"name\":\"%s\","
-                    "\"pid\":%u,\"tid\":0,\"args\":{\"v\":%" PRIu64 "}}",
-                    ev.ts, ev.dur, ev.cat, ev.name, ev.pid, ev.arg);
+                    "\"pid\":%u,\"tid\":0,\"args\":%s}",
+                    ev.ts, ev.dur, ev.cat, ev.name, ev.pid, args);
     }
+    out += line;
+  }
+  // Perfetto flow events ("s" at the parent, "f" at the child) along
+  // parent-span links, so the causal tree renders as arrows across
+  // machine lanes. Binding is by (cat, name, id) = ("flow", "dep", span).
+  std::unordered_map<std::uint64_t, std::pair<sim::Time, std::uint32_t>>
+      where;  // span id -> (start ts, pid)
+  for (const TraceEvent& ev : events_) {
+    if (ev.span != 0) where.emplace(ev.span, std::make_pair(ev.ts, ev.pid));
+  }
+  for (const TraceEvent& ev : events_) {
+    if (ev.span == 0 || ev.parent == 0) continue;
+    auto it = where.find(ev.parent);
+    if (it == where.end()) continue;  // parent fell off the ring
+    std::snprintf(line, sizeof(line),
+                  ",\n{\"ph\":\"s\",\"ts\":%" PRId64
+                  ",\"cat\":\"flow\",\"name\":\"dep\",\"id\":%" PRIu64
+                  ",\"pid\":%u,\"tid\":0}"
+                  ",\n{\"ph\":\"f\",\"bp\":\"e\",\"ts\":%" PRId64
+                  ",\"cat\":\"flow\",\"name\":\"dep\",\"id\":%" PRIu64
+                  ",\"pid\":%u,\"tid\":0}",
+                  it->second.first, ev.span, it->second.second, ev.ts,
+                  ev.span, ev.pid);
     out += line;
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
@@ -61,6 +120,10 @@ std::uint64_t Trace::digest() const {
     h = fnv1a(h, ev.name, std::strlen(ev.name));
     h = fnv1a_u64(h, ev.pid);
     h = fnv1a_u64(h, ev.arg);
+    h = fnv1a_u64(h, ev.trace);
+    h = fnv1a_u64(h, ev.span);
+    h = fnv1a_u64(h, ev.parent);
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(ev.leg));
   }
   return h;
 }

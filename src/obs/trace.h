@@ -6,6 +6,15 @@
 // `capacity` events; `tools/simtrace` exports them as Chrome trace_event
 // JSON for chrome://tracing / Perfetto.
 //
+// On top of the flat event stream, events may carry causal identity: a
+// trace id (one per directory operation), a span id and a parent span id.
+// A TraceContext {trace, parent span} rides in the headers of every
+// packet, RPC, group message and disk/NVRAM request, so one operation
+// yields a single connected span tree (Dapper-style). Span and trace ids
+// are sequential counters on this object — a pure function of the seed,
+// never derived from addresses or wall clock — so two same-seed runs emit
+// identical id sequences.
+//
 // Events carry only sim times, small integers and string *literals*
 // (`const char*` with static storage duration), so recording is cheap and
 // the whole trace is a pure function of the seed: digest() over two
@@ -20,6 +29,32 @@
 
 namespace amoeba::obs {
 
+/// Causal context carried in message headers: which trace (directory
+/// operation) this work belongs to, and the span that caused it. A
+/// zero trace id means "untraced" (background chatter: heartbeats,
+/// locates, lazy flushes) and propagating it costs nothing.
+struct TraceContext {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  [[nodiscard]] bool active() const { return trace != 0; }
+};
+
+/// Critical-path leg taxonomy (Sec. 3.1 decomposition): what resource a
+/// span's wall time is attributed to. `none` on interior/root spans; the
+/// critical-path sweep attributes their uncovered time to queueing.
+enum class Leg : std::uint8_t {
+  none = 0,
+  network,
+  queueing,
+  cpu,
+  disk,
+  nvram,
+  lock_wait,
+};
+
+[[nodiscard]] const char* leg_name(Leg leg);
+inline constexpr int kNumLegs = 7;
+
 struct TraceEvent {
   sim::Time ts = 0;        // event start, sim microseconds
   sim::Duration dur = -1;  // span length; < 0 marks an instant event
@@ -27,6 +62,10 @@ struct TraceEvent {
   const char* name = "";   // event name ("deliver", "trans", "view", ...)
   std::uint32_t pid = 0;   // machine id (Chrome renders one lane per pid)
   std::uint64_t arg = 0;   // free-form detail (seqno, bytes, ...)
+  std::uint64_t trace = 0;   // 0 = not part of a causal tree
+  std::uint64_t span = 0;    // this event's span id (0 = anonymous)
+  std::uint64_t parent = 0;  // causing span id (0 = root)
+  Leg leg = Leg::none;       // resource this span's time belongs to
 };
 
 class Trace {
@@ -36,13 +75,22 @@ class Trace {
   Trace& operator=(const Trace&) = delete;
 
   void complete(sim::Time ts, sim::Duration dur, const char* cat,
-                const char* name, std::uint32_t pid, std::uint64_t arg = 0) {
-    push({ts, dur < 0 ? 0 : dur, cat, name, pid, arg});
+                const char* name, std::uint32_t pid, std::uint64_t arg = 0,
+                std::uint64_t trace = 0, std::uint64_t span = 0,
+                std::uint64_t parent = 0, Leg leg = Leg::none) {
+    push({ts, dur < 0 ? 0 : dur, cat, name, pid, arg, trace, span, parent,
+          leg});
   }
   void instant(sim::Time ts, const char* cat, const char* name,
-               std::uint32_t pid, std::uint64_t arg = 0) {
-    push({ts, -1, cat, name, pid, arg});
+               std::uint32_t pid, std::uint64_t arg = 0,
+               std::uint64_t trace = 0) {
+    push({ts, -1, cat, name, pid, arg, trace, 0, 0, Leg::none});
   }
+
+  /// Open a new causal tree. The returned context has no parent span;
+  /// the caller allocates a root span with new_span_id().
+  [[nodiscard]] TraceContext start_trace() { return {++next_trace_id_, 0}; }
+  [[nodiscard]] std::uint64_t new_span_id() { return ++next_span_id_; }
 
   [[nodiscard]] const std::deque<TraceEvent>& events() const {
     return events_;
@@ -52,13 +100,22 @@ class Trace {
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Mirror ring overflow into a metrics counter ("obs.trace.dropped") so
+  /// tools can warn before computing breakdowns from truncated trees.
+  void set_dropped_counter(std::uint64_t* counter) {
+    dropped_counter_ = counter;
+  }
+
   void clear() {
     events_.clear();
     dropped_ = 0;
+    next_trace_id_ = 0;
+    next_span_id_ = 0;
   }
 
   /// Chrome trace_event "JSON Array Format": complete ("X") and instant
-  /// ("i") events, deterministic byte-for-byte for a given event sequence.
+  /// ("i") events plus flow events ("s"/"f") along parent links,
+  /// deterministic byte-for-byte for a given event sequence.
   [[nodiscard]] std::string to_chrome_json() const;
 
   /// FNV-1a over every recorded field. Two same-seed runs must agree.
@@ -69,6 +126,7 @@ class Trace {
     if (events_.size() >= capacity_) {
       events_.pop_front();
       ++dropped_;
+      if (dropped_counter_ != nullptr) ++*dropped_counter_;
     }
     events_.push_back(ev);
   }
@@ -76,6 +134,9 @@ class Trace {
   std::size_t capacity_;
   std::deque<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t* dropped_counter_ = nullptr;
+  std::uint64_t next_trace_id_ = 0;
+  std::uint64_t next_span_id_ = 0;
 };
 
 }  // namespace amoeba::obs

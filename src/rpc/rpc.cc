@@ -27,10 +27,12 @@ RpcServer::RpcServer(Machine& machine, Port port)
     : machine_(machine),
       port_(port),
       pending_(machine.sim()),
+      mx_dups_(machine.metrics().counter("rpc", "duplicates_filtered")),
+      mx_nothere_(machine.metrics().counter("rpc", "nothere_sent")),
+      mx_served_(machine.metrics().counter("rpc", "requests_served")),
       binding_(machine, port, [this](Packet pkt) { on_packet(std::move(pkt)); }) {}
 
 void RpcServer::on_packet(Packet pkt) {
-  obs::Metrics& mx = machine_.metrics();
   // Kernel-level handling: runs in scheduler context, never blocks.
   try {
     Reader r(pkt.payload);
@@ -52,18 +54,18 @@ void RpcServer::on_packet(Packet pkt) {
         const DedupKey key{pkt.src.v, reply_port.v, xid};
         if (auto it = done_.find(key); it != done_.end()) {
           ++dups_;
-          mx.counter("rpc", "duplicates_filtered")++;
+          ++mx_dups_;
           Writer w;
           w.u8(static_cast<std::uint8_t>(MsgType::reply));
           w.u64(xid);
           w.raw(it->second);
           machine_.net().unicast(machine_.id(), pkt.src, reply_port,
-                                 w.take());
+                                 w.take(), pkt.ctx, "reply");
           return;
         }
         if (in_flight_.count(key) != 0) {
           ++dups_;  // queued or being served: its reply is on the way
-          mx.counter("rpc", "duplicates_filtered")++;
+          ++mx_dups_;
           return;
         }
         // NOTHERE when every service thread is busy (paper Sec. 4.2).
@@ -74,11 +76,13 @@ void RpcServer::on_packet(Packet pkt) {
           req.reply_port = reply_port;
           req.xid = xid;
           req.data = r.rest();
+          req.ctx = pkt.ctx;
           pending_.send(std::move(req));
         } else {
-          mx.counter("rpc", "nothere_sent")++;
+          ++mx_nothere_;
           machine_.net().unicast(machine_.id(), pkt.src, reply_port,
-                                 encode_header(MsgType::nothere, xid));
+                                 encode_header(MsgType::nothere, xid),
+                                 pkt.ctx, "nothere");
         }
         return;
       }
@@ -98,11 +102,12 @@ IncomingRequest RpcServer::get_request() {
   } guard{&idle_threads_};
   IncomingRequest req = pending_.recv();
   ++served_;
-  machine_.metrics().counter("rpc", "requests_served")++;
+  ++mx_served_;
   return req;
 }
 
-void RpcServer::put_reply(const IncomingRequest& req, Buffer reply) {
+void RpcServer::put_reply(const IncomingRequest& req, Buffer reply,
+                          obs::TraceContext ctx) {
   const DedupKey key{req.client.v, req.reply_port.v, req.xid};
   in_flight_.erase(key);
   if (done_.emplace(key, reply).second) {
@@ -116,7 +121,8 @@ void RpcServer::put_reply(const IncomingRequest& req, Buffer reply) {
   w.u8(static_cast<std::uint8_t>(MsgType::reply));
   w.u64(req.xid);
   w.raw(reply);
-  machine_.net().unicast(machine_.id(), req.client, req.reply_port, w.take());
+  machine_.net().unicast(machine_.id(), req.client, req.reply_port, w.take(),
+                         ctx.active() ? ctx : req.ctx, "reply");
 }
 
 // ---------------------------------------------------------------- RpcClient
@@ -128,7 +134,12 @@ std::uint32_t g_client_salt = 0;  // distinct reply port per client object
 RpcClient::RpcClient(Machine& machine)
     : machine_(machine),
       reply_port_(make_reply_port(machine.id(), ++g_client_salt)),
-      endpoint_(machine, reply_port_) {}
+      endpoint_(machine, reply_port_),
+      mx_locates_(machine.metrics().counter("rpc", "locates")),
+      mx_packets_(machine.metrics().counter("rpc", "packets")),
+      mx_timeouts_(machine.metrics().counter("rpc", "timeouts")),
+      mx_failovers_(machine.metrics().counter("rpc", "failovers")),
+      mx_transactions_(machine.metrics().counter("rpc", "transactions")) {}
 
 void RpcClient::note_hereis(Port port, MachineId server) {
   auto& entry = cache_[port];
@@ -153,7 +164,7 @@ std::optional<MachineId> RpcClient::current_server(Port port) const {
 
 Status RpcClient::locate(Port port, sim::Time deadline) {
   std::uint64_t xid = next_xid_++;
-  machine_.metrics().counter("rpc", "locates")++;
+  ++mx_locates_;
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::locate));
   w.u64(xid);
@@ -181,12 +192,17 @@ Status RpcClient::locate(Port port, sim::Time deadline) {
   return Status::error(Errc::unreachable, "no server answered locate");
 }
 
-Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
+Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
+                                obs::TraceContext ctx) {
   sim::Simulator& sim = machine_.sim();
-  obs::Metrics& mx = machine_.metrics();
   const sim::Time deadline = sim.now() + opts.timeout;
   const sim::Time t0 = sim.now();
   int failovers = 0;
+  // The transaction span: request/reply wire spans and the server's
+  // handling hang under it (via the request packet's header context).
+  obs::Trace& tr = machine_.trace();
+  const std::uint64_t sp = ctx.active() ? tr.new_span_id() : 0;
+  const obs::TraceContext tctx{ctx.trace, sp};
 
   while (true) {
     // 1. Make sure we have a server candidate.
@@ -207,8 +223,9 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
     w.raw(request);
     // One Amoeba RPC = 3 packets (rpc.h): the request now, the reply and
     // its piggybacked ack counted at reply receipt.
-    mx.counter("rpc", "packets")++;
-    machine_.net().unicast(machine_.id(), server, port, w.take());
+    ++mx_packets_;
+    machine_.net().unicast(machine_.id(), server, port, w.take(), tctx,
+                           "request");
 
     // 3. Wait for the reply (or NOTHERE / timeout).
     while (true) {
@@ -218,7 +235,7 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
         // partitioned away. Do not retry blindly (at-most-once semantics);
         // report the failure and let the caller decide.
         drop_server(port, server);
-        mx.counter("rpc", "timeouts")++;
+        ++mx_timeouts_;
         return Status::error(Errc::timeout, "rpc timeout");
       }
       try {
@@ -233,19 +250,27 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts) {
         if (type == MsgType::nothere) {
           // Safe to fail over: the request was never queued server-side.
           drop_server(port, server);
-          mx.counter("rpc", "failovers")++;
+          ++mx_failovers_;
           if (++failovers > opts.max_failovers) {
             return Status::error(Errc::refused, "all servers busy");
           }
           break;  // outer loop: pick next candidate or re-locate
         }
         if (type == MsgType::reply) {
-          mx.add("rpc", "packets", 2);  // reply + piggybacked ack
-          mx.counter("rpc", "transactions")++;
+          mx_packets_ += 2;  // reply + piggybacked ack
+          ++mx_transactions_;
           const double ms = sim::to_ms(sim.now() - t0);
-          mx.observe("rpc", "trans_ms", ms);
-          machine_.trace().complete(t0, sim.now() - t0, "rpc", "trans",
-                                    machine_.id().v, xid);
+          machine_.metrics().observe("rpc", "trans_ms", ms);
+          if (sp != 0) {
+            // The piggybacked ack never crosses the wire as its own packet
+            // in this repro (rpc.h); record it as a zero-length network
+            // span so traces show the paper's 3-packet RPC.
+            tr.complete(sim.now(), 0, "net", "ack", machine_.id().v, 64,
+                        tctx.trace, tr.new_span_id(), sp,
+                        obs::Leg::network);
+          }
+          tr.complete(t0, sim.now() - t0, "rpc", "trans", machine_.id().v,
+                      xid, tctx.trace, sp, ctx.span);
           return r.rest();
         }
       } catch (const DecodeError&) {

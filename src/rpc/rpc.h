@@ -50,6 +50,9 @@ struct IncomingRequest {
   Port reply_port;
   std::uint64_t xid = 0;
   Buffer data;
+  /// Causal context of the request packet ({trace, request wire span});
+  /// servers parent their handling spans under it.
+  obs::TraceContext ctx;
 };
 
 class RpcServer {
@@ -60,8 +63,11 @@ class RpcServer {
   /// Block until a request arrives. Throws sim::ProcessKilled on crash.
   IncomingRequest get_request();
 
-  /// Send the reply for a previously received request.
-  void put_reply(const IncomingRequest& req, Buffer reply);
+  /// Send the reply for a previously received request. `ctx` parents the
+  /// reply's wire span (e.g. under the server's handling span); when
+  /// inactive the request's own context is used.
+  void put_reply(const IncomingRequest& req, Buffer reply,
+                 obs::TraceContext ctx = {});
 
   [[nodiscard]] Machine& machine() const { return machine_; }
   [[nodiscard]] std::uint64_t requests_served() const { return served_; }
@@ -85,6 +91,11 @@ class RpcServer {
   int idle_threads_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t dups_ = 0;
+  // Pre-interned counter handles: the packet handler and get_request are
+  // hot paths, so string lookups are done once at construction.
+  obs::Counter& mx_dups_;
+  obs::Counter& mx_nothere_;
+  obs::Counter& mx_served_;
   std::set<DedupKey> in_flight_;       // queued or being served
   std::map<DedupKey, Buffer> done_;    // replied: resend on duplicate
   std::deque<DedupKey> done_order_;    // FIFO pruning of done_
@@ -104,7 +115,11 @@ class RpcClient {
   /// Perform a remote operation against whichever server serves `port`.
   /// Error codes: unreachable (no server located), timeout (server located
   /// but no reply), refused (all located servers said NOTHERE repeatedly).
-  Result<Buffer> trans(Port port, Buffer request, TransOptions opts = {});
+  /// `ctx`, when active, is the causal parent: trans() records an
+  /// "rpc.trans" span under it and the 3 Amoeba packets (request, reply,
+  /// piggybacked ack) appear as network spans in the tree.
+  Result<Buffer> trans(Port port, Buffer request, TransOptions opts = {},
+                       obs::TraceContext ctx = {});
 
   /// Forget everything learned about `port` (tests / failover experiments).
   void flush_port_cache(Port port);
@@ -129,6 +144,12 @@ class RpcClient {
   net::Endpoint endpoint_;
   std::uint64_t next_xid_ = 1;
   std::unordered_map<Port, CacheEntry> cache_;
+  // Pre-interned counter handles for the per-transaction hot path.
+  obs::Counter& mx_locates_;
+  obs::Counter& mx_packets_;
+  obs::Counter& mx_timeouts_;
+  obs::Counter& mx_failovers_;
+  obs::Counter& mx_transactions_;
 };
 
 /// Derives a client-unique reply port (top bit set to stay clear of

@@ -42,6 +42,9 @@ struct CliOptions {
   bool legacy_faults = false;  // --faults legacy
   std::string schedule;
   int shrink_runs = 48;
+  /// Where failure artifacts (trace + metrics of the shrunk replay) land;
+  /// empty disables the dump.
+  std::string dump_dir = ".";
 };
 
 void usage(const char* argv0) {
@@ -50,6 +53,7 @@ void usage(const char* argv0) {
       "usage: %s [--flavor NAME|all] [--seeds N] [--seed-base B] [--seed S]\n"
       "          [--clients C] [--keys K] [--steps S] [--schedule STR]\n"
       "          [--faults legacy|all] [--inject-bug] [--shrink-runs N]\n"
+      "          [--dump-dir PATH|none]\n"
       "flavors: group group_nvram rpc rpc_nvram nfs all\n",
       argv0);
 }
@@ -133,6 +137,10 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       const char* v = next();
       if (v == nullptr) return false;
       cli.shrink_runs = std::atoi(v);
+    } else if (a == "--dump-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.dump_dir = std::strcmp(v, "none") == 0 ? "" : v;
     } else {
       usage(argv[0]);
       return false;
@@ -201,6 +209,19 @@ bool run_and_report(const CliOptions& cli, harness::Flavor flavor,
                               : check::encode_schedule(minimal).c_str());
   std::printf("reproduce with:\n  %s\n",
               check::repro_command(o, minimal).c_str());
+  if (!cli.dump_dir.empty()) {
+    // Replay the minimal schedule once more with artifact capture: the
+    // causal trace and final counters of the actual failing run, next to
+    // the repro command above.
+    check::FuzzOptions d = o;
+    d.schedule = minimal;
+    d.steps = static_cast<int>(minimal.size());
+    d.dump_prefix = cli.dump_dir + "/simfuzz_" + check::flavor_token(flavor) +
+                    "_seed" + std::to_string(seed);
+    (void)check::run_one(d);
+    std::printf("failure artifacts:\n  %s.trace.json\n  %s.metrics.json\n",
+                d.dump_prefix.c_str(), d.dump_prefix.c_str());
+  }
   return false;
 }
 

@@ -1,0 +1,383 @@
+// simreport: run the directory service under the deterministic simulator,
+// rebuild each operation's causal span tree, and print a paper-style cost
+// report: per-op critical-path leg breakdowns, the Sec. 3.1 packet / disk
+// decomposition (measured from traces vs derived from the cost model), and
+// a recovery timeline reconstructed from instant events.
+//
+//   simreport [--seed N] [--ops N] [--out PATH]
+//
+// The report is deterministic: same seed + ops => byte-identical output
+// (everything printed comes from sim-time stamps, span counts and static
+// strings — never wall clock or addresses).
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dir/client.h"
+#include "dir/group_server.h"
+#include "harness/workload.h"
+#include "obs/critical_path.h"
+
+namespace {
+
+using namespace amoeba;
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+double ms(sim::Duration d) { return sim::to_ms(d); }
+
+/// Aggregate of all ops sharing a root span name within one flavor run.
+struct OpAgg {
+  std::size_t n = 0;
+  std::size_t disconnected = 0;
+  sim::Duration total = 0;
+  sim::Duration leg[obs::kNumLegs] = {};
+  std::size_t packets = 0;  // network-leg spans (incl. piggybacked acks)
+  std::size_t disk_ops = 0;
+  std::size_t nvram_ops = 0;
+  std::size_t group_req = 0;  // member-origin group sends seen ("req" wire)
+  sim::Duration disk_derived = 0;   // span count x device service time
+  sim::Duration nvram_derived = 0;
+};
+
+/// Device service time the Sec. 3.1 cost model charges for one disk span,
+/// keyed by the span's name (vdisk.h defaults).
+sim::Duration disk_service(const char* name) {
+  if (std::strcmp(name, "write") == 0) return sim::msec(40);
+  if (std::strcmp(name, "torn_write") == 0) return sim::msec(40);
+  if (std::strcmp(name, "data_write") == 0) return sim::msec(24);
+  return sim::msec(25);  // read / data_read / scan
+}
+
+void note_dropped(std::string& out, const obs::Trace& trace) {
+  if (trace.dropped() == 0) return;
+  appendf(out,
+          "  WARNING: %llu trace events dropped (ring capacity %zu); "
+          "counts below are incomplete\n",
+          static_cast<unsigned long long>(trace.dropped()), trace.capacity());
+}
+
+/// Expected packet count for one op from the Sec. 3.1 derivation.
+///   RPC transaction            = 3 packets (request, reply, ack)
+///   sequencer-origin broadcast = 1 ACCEPT + (N-1) ACKs      = 3 for N=3
+///   member-origin broadcast    = REQ + ACCEPT + 2 ACK + COMMIT = 5
+/// Remote storage (bullet / disk server) costs one more 3-packet RPC per
+/// disk op; the NFS flavor writes its local disk, so none.
+std::string derived_packets(harness::Flavor f, bool is_write,
+                            bool member_origin, std::size_t disk_ops) {
+  std::size_t total = 3;
+  std::string formula = "3 rpc";
+  if (is_write) {
+    switch (f) {
+      case harness::Flavor::group:
+      case harness::Flavor::group_nvram:
+        total += member_origin ? 5 : 3;
+        formula += member_origin ? " + 5 group (member origin)"
+                                 : " + 3 group (sequencer origin)";
+        break;
+      case harness::Flavor::rpc:
+      case harness::Flavor::rpc_nvram:
+        total += 3;
+        formula += " + 3 intent rpc";
+        break;
+      case harness::Flavor::nfs:
+        break;
+    }
+  }
+  if (f != harness::Flavor::nfs && disk_ops != 0) {
+    total += 3 * disk_ops;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, " + %zux3 storage rpc", disk_ops);
+    formula += buf;
+  }
+  char head[32];
+  std::snprintf(head, sizeof head, "%zu = ", total);
+  return head + formula;
+}
+
+void run_flavor(harness::Flavor flavor, std::uint64_t seed, int ops,
+                std::string& out) {
+  harness::TestbedOptions topts;
+  topts.flavor = flavor;
+  topts.clients = 1;
+  topts.seed = seed;
+  harness::Testbed bed(topts);
+  if (!bed.wait_ready()) {
+    appendf(out, "--- %s: service never became ready ---\n",
+            harness::flavor_name(flavor));
+    return;
+  }
+  // The steady-state workload: one directory, then `ops` rounds of
+  // append / lookup / delete — enough traces to average each op kind.
+  bool done = false;
+  net::Machine& cm = bed.client(0);
+  cm.spawn("simreport", [&] {
+    rpc::RpcClient rpc(cm);
+    dir::DirClient dc(rpc, bed.dir_port());
+    Result<cap::Capability> dcap = dc.create_dir({"c"});
+    for (int i = 0; i < 40 && !dcap.is_ok(); ++i) {
+      bed.sim().sleep_for(sim::msec(100));
+      dcap = dc.create_dir({"c"});
+    }
+    if (!dcap.is_ok()) return;
+    for (int i = 0; i < ops; ++i) {
+      const std::string name = "e" + std::to_string(i);
+      (void)dc.append_row(*dcap, name, {});
+      (void)dc.lookup(*dcap, name);
+      (void)dc.delete_row(*dcap, name);
+    }
+    done = true;
+  });
+  const sim::Time deadline = bed.sim().now() + sim::sec(120);
+  while (!done && bed.sim().now() < deadline) bed.sim().run_for(sim::msec(200));
+  bed.sim().run_for(sim::sec(2));  // drain lazy work into the trace
+  if (!done) {
+    appendf(out, "--- %s: workload did not finish ---\n",
+            harness::flavor_name(flavor));
+    return;
+  }
+
+  // Rebuild every operation's tree and bucket by the root span's name.
+  const obs::Trace& trace = bed.trace();
+  std::map<std::string, OpAgg> by_op;
+  for (std::uint64_t id : obs::trace_ids(trace.events())) {
+    const obs::TraceTree tree = obs::build_tree(trace.events(), id);
+    if (tree.root == obs::TraceTree::kNone) continue;
+    const obs::TraceEvent& root = tree.spans[tree.root];
+    if (std::strcmp(root.cat, "dir") != 0) continue;
+    const obs::LegBreakdown bd = obs::critical_path(tree);
+    OpAgg& agg = by_op[root.name];
+    ++agg.n;
+    if (!tree.connected()) ++agg.disconnected;
+    agg.total += bd.total;
+    for (int l = 0; l < obs::kNumLegs; ++l) agg.leg[l] += bd.leg[l];
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      const obs::TraceEvent& ev = tree.spans[i];
+      if (tree.depth_of[i] == 0) continue;
+      switch (ev.leg) {
+        case obs::Leg::network:
+          ++agg.packets;
+          if (std::strcmp(ev.name, "req") == 0) ++agg.group_req;
+          break;
+        case obs::Leg::disk:
+          ++agg.disk_ops;
+          agg.disk_derived += disk_service(ev.name);
+          break;
+        case obs::Leg::nvram:
+          ++agg.nvram_ops;
+          agg.nvram_derived += sim::usec(100);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  appendf(out, "--- flavor: %s ---\n", harness::flavor_name(flavor));
+  note_dropped(out, trace);
+  appendf(out,
+          "  %-11s %3s %10s | %9s %9s %8s %9s %8s %9s  (critical-path ms)\n",
+          "op", "n", "total", "network", "queueing", "cpu", "disk", "nvram",
+          "lock");
+  for (const auto& [name, agg] : by_op) {
+    const double inv = agg.n != 0 ? 1.0 / static_cast<double>(agg.n) : 0.0;
+    appendf(out,
+            "  %-11s %3zu %10.3f | %9.3f %9.3f %8.3f %9.3f %8.3f %9.3f\n",
+            name.c_str(), agg.n, ms(agg.total) * inv,
+            ms(agg.leg[static_cast<int>(obs::Leg::network)]) * inv,
+            ms(agg.leg[static_cast<int>(obs::Leg::queueing)]) * inv,
+            ms(agg.leg[static_cast<int>(obs::Leg::cpu)]) * inv,
+            ms(agg.leg[static_cast<int>(obs::Leg::disk)]) * inv,
+            ms(agg.leg[static_cast<int>(obs::Leg::nvram)]) * inv,
+            ms(agg.leg[static_cast<int>(obs::Leg::lock_wait)]) * inv);
+    if (agg.disconnected != 0) {
+      appendf(out, "  %-11s     ^ %zu of %zu trees NOT connected\n", "",
+              agg.disconnected, agg.n);
+    }
+  }
+
+  // Sec. 3.1 decomposition: packet and device-op counts measured from the
+  // span trees alone, next to what the paper's cost derivation predicts.
+  // Device time compares total service time charged (span count x model
+  // latency) with the share that landed on the client's critical path —
+  // replica writes overlap each other and continue past the reply, so the
+  // critical-path share is a lower bound.
+  appendf(out, "  Sec. 3.1 decomposition (mean per op, measured from spans):\n");
+  for (const auto& [name, agg] : by_op) {
+    if (agg.n == 0) continue;
+    const bool is_write = name != "lookup_set" && name != "list_dir";
+    const double inv = 1.0 / static_cast<double>(agg.n);
+    appendf(out, "    %-11s packets %4.1f   derived: %s\n", name.c_str(),
+            static_cast<double>(agg.packets) * inv,
+            derived_packets(flavor, is_write, agg.group_req != 0,
+                            (agg.disk_ops + agg.n / 2) / agg.n)
+                .c_str());
+    appendf(out,
+            "    %-11s disk ops %3.1f (service %.1f ms, critical-path "
+            "%.1f ms)  nvram ops %3.1f (service %.2f ms)\n",
+            "", static_cast<double>(agg.disk_ops) * inv,
+            ms(agg.disk_derived) * inv,
+            ms(agg.leg[static_cast<int>(obs::Leg::disk)]) * inv,
+            static_cast<double>(agg.nvram_ops) * inv,
+            ms(agg.nvram_derived) * inv);
+  }
+  appendf(out, "\n");
+}
+
+/// Crash the whole group mid-workload — staggered, so a definite
+/// last-to-fail exists and the early casualties restart with stale state —
+/// then restart everyone and print the recovery timeline from the
+/// "dir.group" instant events: view changes, last-to-fail resolution,
+/// snapshot state transfer, and the first client op served afterwards.
+void run_recovery(std::uint64_t seed, std::string& out) {
+  harness::TestbedOptions topts;
+  topts.flavor = harness::Flavor::group;
+  topts.clients = 1;
+  topts.seed = seed;
+  harness::Testbed bed(topts);
+  if (!bed.wait_ready()) {
+    appendf(out, "--- recovery: service never became ready ---\n");
+    return;
+  }
+  bool stop = false;
+  net::Machine& cm = bed.client(0);
+  cm.spawn("load", [&] {
+    rpc::RpcClient rpc(cm);
+    dir::DirClient dc(rpc, bed.dir_port());
+    Result<cap::Capability> dcap = dc.create_dir({"c"});
+    for (int i = 0; i < 40 && !dcap.is_ok(); ++i) {
+      bed.sim().sleep_for(sim::msec(100));
+      dcap = dc.create_dir({"c"});
+    }
+    if (!dcap.is_ok()) return;
+    for (int i = 0; !stop; ++i) {
+      const std::string name = "e" + std::to_string(i);
+      if (!dc.append_row(*dcap, name, {}).is_ok()) {
+        rpc.flush_port_cache(bed.dir_port());
+        bed.sim().sleep_for(sim::msec(100));
+      }
+    }
+  });
+  bed.sim().run_for(sim::sec(5));
+
+  // Kill the replicas one by one (dir2 dies last and thus holds the most
+  // recent state), leave the group dead for a moment, then restart all.
+  const sim::Time crash_at = bed.sim().now();
+  for (int i = 0; i < 3; ++i) {
+    bed.cluster().crash(bed.dir_server(i).id());
+    bed.sim().run_for(sim::sec(1));
+  }
+  bed.sim().run_for(sim::sec(1));
+  for (int i = 0; i < 3; ++i) bed.cluster().restart(bed.dir_server(i).id());
+  const sim::Time deadline = bed.sim().now() + sim::sec(120);
+  while (bed.sim().now() < deadline) {
+    bool all = true;
+    for (int i = 0; i < 3; ++i) {
+      all = all && !dir::group_dir_stats(bed.dir_server(i)).in_recovery;
+    }
+    if (all) break;
+    bed.sim().run_for(sim::msec(200));
+  }
+  bed.sim().run_for(sim::sec(5));  // let the client land the first op
+  stop = true;
+  bed.sim().run_for(sim::sec(2));
+
+  appendf(out,
+          "--- recovery timeline: staggered full-group crash at t=%.1f ms "
+          "---\n",
+          ms(crash_at));
+  note_dropped(out, bed.trace());
+  struct Entry {
+    sim::Time at;
+    std::string text;
+  };
+  std::vector<Entry> entries;
+  for (const obs::TraceEvent& ev : bed.trace().events()) {
+    if (std::strcmp(ev.cat, "dir.group") != 0 || ev.ts < crash_at) continue;
+    std::string text;
+    if (ev.dur < 0) {
+      appendf(text, "dir@m%-3llu %-22s",
+              static_cast<unsigned long long>(ev.pid), ev.name);
+      if (std::strcmp(ev.name, "state_transfer") == 0) {
+        appendf(text, " %llu bytes", static_cast<unsigned long long>(ev.arg));
+      } else if (std::strcmp(ev.name, "view_change") == 0 ||
+                 std::strcmp(ev.name, "last_to_fail_resolved") == 0) {
+        appendf(text, " seq=%llu", static_cast<unsigned long long>(ev.arg));
+      }
+      entries.push_back({ev.ts, std::move(text)});
+    } else if (std::strcmp(ev.name, "recovery") == 0) {
+      // The begin instant is recorded separately; place the completion at
+      // the end of the span.
+      appendf(text, "dir@m%-3llu %-22s took %.1f ms",
+              static_cast<unsigned long long>(ev.pid), "recovery_done",
+              ms(ev.dur));
+      entries.push_back({ev.ts + ev.dur, std::move(text)});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.at < b.at; });
+  for (const Entry& e : entries) {
+    appendf(out, "  t=%10.1f ms  +%8.1f ms  %s\n", ms(e.at),
+            ms(e.at - crash_at), e.text.c_str());
+  }
+  appendf(out, "\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int ops = 5;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (s == "--ops" && i + 1 < argc) {
+      ops = std::atoi(argv[++i]);
+    } else if (s == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed N] [--ops N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::string out;
+  appendf(out, "amoeba simreport (seed %llu, %d ops per flavor)\n",
+          static_cast<unsigned long long>(seed), ops);
+  appendf(out,
+          "cost model: disk write 40 ms / read 25 ms / data write 24 ms, "
+          "nvram append 0.10 ms\n\n");
+  using harness::Flavor;
+  for (Flavor f : {Flavor::group, Flavor::group_nvram, Flavor::rpc,
+                   Flavor::rpc_nvram, Flavor::nfs}) {
+    run_flavor(f, seed, ops, out);
+  }
+  run_recovery(seed, out);
+
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -105,5 +105,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(trace.dropped()),
               static_cast<unsigned long long>(trace.digest()),
               out_path.c_str());
+  if (trace.dropped() != 0) {
+    std::fprintf(stderr,
+                 "WARNING: %llu trace events dropped (ring capacity %zu); "
+                 "the export is missing the oldest events\n",
+                 static_cast<unsigned long long>(trace.dropped()),
+                 trace.capacity());
+  }
   return 0;
 }
