@@ -105,8 +105,9 @@ inline obs::Json legs_json(const obs::Trace& trace) {
     sim::Duration leg[obs::kNumLegs] = {};
   };
   std::map<std::string, Agg> by_op;
-  for (std::uint64_t id : obs::trace_ids(trace.events())) {
-    const obs::TraceTree tree = obs::build_tree(trace.events(), id);
+  const std::vector<obs::TraceEvent> events = trace.events();  // hoist copy
+  for (std::uint64_t id : obs::trace_ids(events)) {
+    const obs::TraceTree tree = obs::build_tree(events, id);
     if (tree.root == obs::TraceTree::kNone) continue;
     const obs::TraceEvent& root = tree.spans[tree.root];
     if (std::strcmp(root.cat, "dir") != 0) continue;

@@ -57,6 +57,10 @@ class BulletServer {
   net::Port port_;
   disk::VirtualDisk& disk_;
   BulletStore& store_;
+  // Interned op counters (per-request path).
+  obs::Counter& mx_creates_;
+  obs::Counter& mx_reads_;
+  obs::Counter& mx_deletes_;
   rpc::RpcServer server_;
 };
 

@@ -11,9 +11,14 @@
 #include <string_view>
 #include <vector>
 
+#include "common/pool.h"
+
 namespace amoeba {
 
-using Buffer = std::vector<std::uint8_t>;
+/// Payload bytes ride the freelist pool: packets are created and destroyed
+/// on every network event, and the pool keeps those churn allocations off
+/// the global heap (see pool.h).
+using Buffer = std::vector<std::uint8_t, PoolAllocator<std::uint8_t>>;
 
 /// Thrown by Reader when the input is truncated or malformed.
 class DecodeError : public std::runtime_error {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 namespace amoeba::log {
 namespace {
@@ -10,8 +12,16 @@ namespace {
 // though the simulator itself is single-threaded-at-a-time.
 std::mutex g_mutex;
 Level g_level = Level::warn;
-Sink g_sink;   // empty => stderr
-Clock g_clock; // empty => no timestamp
+Sink g_sink;  // empty => stderr
+
+// Clock stack: back() is active. Entries are removed by id so simulators
+// may be destroyed in any order.
+struct ClockEntry {
+  std::uint64_t id;
+  Clock clock;
+};
+std::vector<ClockEntry> g_clocks;
+std::uint64_t g_next_clock_id = 1;
 
 const char* level_tag(Level l) {
   switch (l) {
@@ -42,14 +52,21 @@ void set_sink(Sink sink) {
   g_sink = std::move(sink);
 }
 
-void set_clock(Clock clock) {
+std::uint64_t push_clock(Clock clock) {
   std::lock_guard lock(g_mutex);
-  g_clock = std::move(clock);
+  const std::uint64_t id = g_next_clock_id++;
+  g_clocks.push_back({id, std::move(clock)});
+  return id;
 }
 
-void clear_clock() {
+void pop_clock(std::uint64_t id) {
   std::lock_guard lock(g_mutex);
-  g_clock = nullptr;
+  for (auto it = g_clocks.begin(); it != g_clocks.end(); ++it) {
+    if (it->id == id) {
+      g_clocks.erase(it);
+      return;
+    }
+  }
 }
 
 namespace detail {
@@ -60,7 +77,7 @@ void emit(Level level, const std::string& msg) {
   {
     std::lock_guard lock(g_mutex);
     sink = g_sink;
-    clock = g_clock;
+    if (!g_clocks.empty()) clock = g_clocks.back().clock;
   }
   std::string line;
   if (clock) {

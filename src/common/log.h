@@ -3,6 +3,7 @@
 // Logging defaults to Warn so tests and benchmarks stay quiet.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -18,10 +19,15 @@ Level level();
 using Sink = std::function<void(Level, const std::string&)>;
 void set_sink(Sink sink);
 
-/// Optional clock, installed by the simulator so log lines carry sim time.
+/// Optional clock, installed by a simulator so log lines carry sim time.
+/// Clocks form a stack: the most recently pushed clock is active, and
+/// popping any entry (by the id push_clock returned) leaves the rest in
+/// place. This makes two coexisting Simulators safe regardless of
+/// destruction order — destroying one never strips or dangles the other's
+/// clock.
 using Clock = std::function<std::int64_t()>;
-void set_clock(Clock clock);
-void clear_clock();
+std::uint64_t push_clock(Clock clock);
+void pop_clock(std::uint64_t id);
 
 namespace detail {
 void emit(Level level, const std::string& msg);

@@ -1,0 +1,37 @@
+#include "common/pool.h"
+
+#include <vector>
+
+namespace amoeba::pool_detail {
+
+#if !AMOEBA_POOL_PASSTHROUGH
+
+namespace {
+/// Keep every slab alive for the process lifetime so freelist chunks stay
+/// valid and reachable. Intentionally leaked-at-exit (static storage).
+std::vector<void*>& slabs() {
+  thread_local std::vector<void*> s;
+  return s;
+}
+}  // namespace
+
+void* refill_and_pop(std::size_t idx) {
+  const std::size_t chunk = class_size(idx);
+  // ~64 KiB slabs, at least 8 chunks per refill.
+  std::size_t count = (64 * 1024) / chunk;
+  if (count < 8) count = 8;
+  auto* base = static_cast<char*>(::operator new(chunk * count));
+  slabs().push_back(base);
+  FreeNode*& head = cache().free[idx];
+  // Chunks [1, count) go onto the freelist; chunk 0 is returned.
+  for (std::size_t i = count; i-- > 1;) {
+    auto* n = reinterpret_cast<FreeNode*>(base + i * chunk);
+    n->next = head;
+    head = n;
+  }
+  return base;
+}
+
+#endif  // !AMOEBA_POOL_PASSTHROUGH
+
+}  // namespace amoeba::pool_detail

@@ -61,6 +61,8 @@ struct ServerCtx {
   obs::Counter& mx_applies;
   obs::Counter& mx_refused;
   obs::Counter& mx_flushes;
+  obs::Hist& mx_read_ms;
+  obs::Hist& mx_write_ms;
 
   ServerCtx(Machine& m, GroupDirOptions o, int idx)
       : machine(m),
@@ -74,7 +76,9 @@ struct ServerCtx {
         mx_writes(m.metrics().counter("dir.group", "writes")),
         mx_applies(m.metrics().counter("dir.group", "applies")),
         mx_refused(m.metrics().counter("dir.group", "refused_no_majority")),
-        mx_flushes(m.metrics().counter("dir.group", "flushes")) {}
+        mx_flushes(m.metrics().counter("dir.group", "flushes")),
+        mx_read_ms(m.metrics().histogram("dir.group", "read_ms")),
+        mx_write_ms(m.metrics().histogram("dir.group", "write_ms")) {}
 
   sim::Simulator& sim() { return machine.sim(); }
   sim::Time now() { return machine.sim().now(); }
@@ -808,7 +812,6 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
 }
 
 void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
-  obs::Metrics& mx = ctx.machine.metrics();
   obs::Trace& tr = ctx.machine.trace();
   while (true) {
     rpc::IncomingRequest req = server.get_request();
@@ -868,7 +871,7 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
       Buffer reply = ctx.state.execute_read(req.data);
       ctx.stats->reads++;
       ++ctx.mx_reads;
-      mx.observe("dir.group", "read_ms", sim::to_ms(ctx.now() - op_t0));
+      ctx.mx_read_ms.push_back(sim::to_ms(ctx.now() - op_t0));
       note_served();
       close_op("read");
       server.put_reply(req, std::move(reply), octx);
@@ -906,7 +909,7 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
     ctx.completions.erase(it);
     ctx.stats->writes++;
     ++ctx.mx_writes;
-    mx.observe("dir.group", "write_ms", sim::to_ms(ctx.now() - op_t0));
+    ctx.mx_write_ms.push_back(sim::to_ms(ctx.now() - op_t0));
     note_served();
     close_op("write");
     server.put_reply(req, std::move(reply), octx);

@@ -50,6 +50,8 @@ void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
   obs::Trace& tr = ctx.machine.trace();
   obs::Counter& mx_reads = mx.counter("dir.nfs", "reads");
   obs::Counter& mx_writes = mx.counter("dir.nfs", "writes");
+  obs::Hist& mx_read_ms = mx.histogram("dir.nfs", "read_ms");
+  obs::Hist& mx_write_ms = mx.histogram("dir.nfs", "write_ms");
   while (true) {
     rpc::IncomingRequest req = server.get_request();
     const sim::Time op_t0 = ctx.machine.sim().now();
@@ -73,8 +75,7 @@ void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
       Buffer reply = ctx.state.execute_read(req.data);
       ctx.stats->reads++;
       ++mx_reads;
-      mx.observe("dir.nfs", "read_ms",
-                 sim::to_ms(ctx.machine.sim().now() - op_t0));
+      mx_read_ms.push_back(sim::to_ms(ctx.machine.sim().now() - op_t0));
       close_op("read");
       server.put_reply(req, std::move(reply), octx);
       continue;
@@ -95,14 +96,15 @@ void dir_loop(NfsCtx& ctx, rpc::RpcServer& server) {
     }
     ctx.stats->writes++;
     ++mx_writes;
-    mx.observe("dir.nfs", "write_ms",
-               sim::to_ms(ctx.machine.sim().now() - op_t0));
+    mx_write_ms.push_back(sim::to_ms(ctx.machine.sim().now() - op_t0));
     close_op("write");
     server.put_reply(req, std::move(reply), octx);
   }
 }
 
 void file_loop(NfsCtx& ctx, rpc::RpcServer& server) {
+  obs::Counter& mx_file_ops =
+      ctx.machine.metrics().counter("dir.nfs", "file_ops");
   while (true) {
     rpc::IncomingRequest req = server.get_request();
     Buffer reply;
@@ -160,7 +162,7 @@ void file_loop(NfsCtx& ctx, rpc::RpcServer& server) {
     }
     server.put_reply(req, std::move(reply));
     ctx.stats->file_ops++;
-    ctx.machine.metrics().counter("dir.nfs", "file_ops")++;
+    ++mx_file_ops;
   }
 }
 

@@ -64,6 +64,8 @@ struct RpcServerCtx {
   obs::Counter& mx_intents;
   obs::Counter& mx_conflicts;
   obs::Counter& mx_flushes;
+  obs::Hist& mx_read_ms;
+  obs::Hist& mx_write_ms;
 
   RpcServerCtx(Machine& m, RpcDirOptions o, int idx)
       : machine(m),
@@ -78,7 +80,9 @@ struct RpcServerCtx {
         mx_writes(m.metrics().counter("dir.rpc", "writes")),
         mx_intents(m.metrics().counter("dir.rpc", "intents_received")),
         mx_conflicts(m.metrics().counter("dir.rpc", "conflicts")),
-        mx_flushes(m.metrics().counter("dir.rpc", "flushes")) {}
+        mx_flushes(m.metrics().counter("dir.rpc", "flushes")),
+        mx_read_ms(m.metrics().histogram("dir.rpc", "read_ms")),
+        mx_write_ms(m.metrics().histogram("dir.rpc", "write_ms")) {}
 
   sim::Simulator& sim() { return machine.sim(); }
   sim::Time now() { return machine.sim().now(); }
@@ -184,6 +188,14 @@ Result<cap::Capability> write_copy(RpcServerCtx& ctx, Storage& st,
   }
   auto file = st.bullet.create(wrap_dir(obj, e->secret, *d), tctx);
   if (!file.is_ok()) return file.status();
+  // create() blocked on disk I/O; a concurrent delete may have erased the
+  // object — and freed the map node `e` pointed at — while we slept. Re-look
+  // it up instead of writing through a possibly dangling pointer.
+  e = ctx.state.entry(obj);
+  if (e == nullptr) {
+    (void)st.bullet.del(*file);  // orphaned copy of a deleted object
+    return Status::error(Errc::not_found, "object deleted during copy");
+  }
   cap::Capability old = e->bullet;
   e->bullet = *file;
   return old;
@@ -430,7 +442,6 @@ bool sync_with_peer(RpcServerCtx& ctx, Storage& st);
 
 void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
   Storage st(ctx);
-  obs::Metrics& mx = ctx.machine.metrics();
   obs::Trace& tr = ctx.machine.trace();
   while (true) {
     rpc::IncomingRequest req = server.get_request();
@@ -459,7 +470,7 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
       Buffer reply = ctx.state.execute_read(req.data);
       ctx.stats->reads++;
       ++ctx.mx_reads;
-      mx.observe("dir.rpc", "read_ms", sim::to_ms(ctx.now() - op_t0));
+      ctx.mx_read_ms.push_back(sim::to_ms(ctx.now() - op_t0));
       close_op("read");
       server.put_reply(req, std::move(reply), octx);
       continue;
@@ -542,7 +553,7 @@ void initiator_loop(RpcServerCtx& ctx, rpc::RpcServer& server) {
       ctx.unlock();
       ctx.stats->writes++;
       ++ctx.mx_writes;
-      mx.observe("dir.rpc", "write_ms", sim::to_ms(ctx.now() - op_t0));
+      ctx.mx_write_ms.push_back(sim::to_ms(ctx.now() - op_t0));
       done = true;
     }
     if (!done) reply = reply_error(Errc::refused);

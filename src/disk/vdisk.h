@@ -98,6 +98,12 @@ class VirtualDisk {
     mx_ = metrics;
     tr_ = trace;
     pid_ = pid;
+    if (mx_ != nullptr) {
+      mx_reads_ = &mx_->counter("disk", "reads");
+      mx_writes_ = &mx_->counter("disk", "writes");
+    } else {
+      mx_reads_ = mx_writes_ = nullptr;
+    }
   }
 
  private:
@@ -121,6 +127,8 @@ class VirtualDisk {
   std::uint64_t reads_ = 0;
   obs::Metrics* mx_ = nullptr;
   obs::Trace* tr_ = nullptr;
+  std::uint64_t* mx_reads_ = nullptr;
+  std::uint64_t* mx_writes_ = nullptr;
   std::uint32_t pid_ = 0;
 };
 

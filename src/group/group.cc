@@ -149,6 +149,12 @@ struct GroupMember::Ctx {
   std::uint64_t* mx_data;
   std::uint64_t* mx_ctrl;
   std::uint64_t* mx_data_mcast;
+  std::uint64_t* mx_retrans;
+  std::uint64_t* mx_sends;
+  std::uint64_t* mx_views;
+  std::uint64_t* mx_failures;
+  std::uint64_t* mx_resets;
+  obs::Hist* mx_send_ms;
 
   Ctx(net::Machine& m, GroupConfig c)
       : machine(m),
@@ -162,7 +168,13 @@ struct GroupMember::Ctx {
         tr(&m.trace()),
         mx_data(&mx->counter("group", "data_packets")),
         mx_ctrl(&mx->counter("group", "control_packets")),
-        mx_data_mcast(&mx->counter("group", "data_multicasts")) {}
+        mx_data_mcast(&mx->counter("group", "data_multicasts")),
+        mx_retrans(&mx->counter("group", "retransmissions")),
+        mx_sends(&mx->counter("group", "sends")),
+        mx_views(&mx->counter("group", "views_installed")),
+        mx_failures(&mx->counter("group", "failures")),
+        mx_resets(&mx->counter("group", "resets")),
+        mx_send_ms(&mx->histogram("group", "send_ms")) {}
 
   sim::Simulator& sim() { return machine.sim(); }
   sim::Time now() { return machine.sim().now(); }
@@ -229,7 +241,7 @@ void GroupMember::Ctx::go_failed(const std::string& why) {
   if (state == MemberState::failed || state == MemberState::left) return;
   LOG_INFO << machine.name() << " group " << cfg.port.v
            << " FAILED: " << why;
-  mx->counter("group", "failures")++;
+  (*mx_failures)++;
   tr->instant(now(), "group", "failed", me.v, incarnation);
   const bool was_sequencer = i_am_sequencer() && state == MemberState::normal;
   state = MemberState::failed;
@@ -343,7 +355,7 @@ void GroupMember::Ctx::buffer_accept(const AcceptRecord& rec, MachineId from) {
     w.u64(gid);
     w.u64(next_buffer);
     send_pkt(from, w.take(), false);
-    stats.retransmissions++, mx->counter("group", "retransmissions")++;
+    stats.retransmissions++, (*mx_retrans)++;
   }
 }
 
@@ -515,7 +527,7 @@ void GroupMember::Ctx::do_tick() {
       w.u64(gid);
       w.u64(next_buffer);
       send_pkt(sequencer, w.take(), false);
-      stats.retransmissions++, mx->counter("group", "retransmissions")++;
+      stats.retransmissions++, (*mx_retrans)++;
     }
   }
 }
@@ -638,7 +650,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         w.u64(gid);
         w.u64(next_buffer);
         send_pkt(pkt.src, w.take(), false);
-        stats.retransmissions++, mx->counter("group", "retransmissions")++;
+        stats.retransmissions++, (*mx_retrans)++;
         return;
       }
       rec.payload = it->second;
@@ -689,7 +701,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         w.u64(gid);
         w.u64(next_buffer);
         send_pkt(sequencer, w.take(), false);
-        stats.retransmissions++, mx->counter("group", "retransmissions")++;
+        stats.retransmissions++, (*mx_retrans)++;
       }
       Writer w;
       w.u8(static_cast<std::uint8_t>(WireType::alive));
@@ -858,9 +870,9 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
         w.u64(gid);
         w.u64(next_buffer);
         send_pkt(sequencer, w.take(), false);
-        stats.retransmissions++, mx->counter("group", "retransmissions")++;
+        stats.retransmissions++, (*mx_retrans)++;
       }
-      mx->counter("group", "views_installed")++;
+      (*mx_views)++;
       tr->instant(now(), "group", "view", me.v, incarnation);
       // Tell the application a new view was installed (it may need to
       // record the configuration, as the directory service does).
@@ -1052,8 +1064,8 @@ Status GroupMember::send_to_group(Buffer payload, obs::TraceContext ctx) {
   const obs::TraceContext sctx{ctx.trace, sp};
   const auto finish_ok = [&] {
     c.stats.sends++;
-    c.mx->counter("group", "sends")++;
-    c.mx->observe("group", "send_ms", sim::to_ms(c.now() - t0));
+    (*c.mx_sends)++;
+    c.mx_send_ms->push_back(sim::to_ms(c.now() - t0));
     c.tr->complete(t0, c.now() - t0, "group", "send", c.me.v, msgid,
                    ctx.trace, sp, ctx.span);
   };
@@ -1249,7 +1261,7 @@ Status GroupMember::coordinate_reset(sim::Time deadline) {
   c.install_member_alive();
   c.state = MemberState::normal;
   c.stats.resets++;
-  c.mx->counter("group", "resets")++;
+  (*c.mx_resets)++;
   c.tr->instant(c.now(), "group", "reset", c.me.v, c.incarnation);
 
   Writer ng;

@@ -53,6 +53,7 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
   net_cfg.segments = opts.network_segments;
   net_cfg.drop_prob = opts.drop_prob;
   cluster_ = std::make_unique<net::Cluster>(*sim_, net_cfg);
+  cluster_->set_tracing(opts.tracing);
 
   int replicas = opts.replicas;
   if (replicas == 0) {

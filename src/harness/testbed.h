@@ -45,6 +45,10 @@ struct TestbedOptions {
   /// When > 0, overrides GroupConfig::history_limit for the group flavors
   /// (tests use a tiny limit to force history pruning during recovery).
   std::size_t group_history_limit = 0;
+  /// Record a per-event trace ring (Cluster::set_tracing). Defaults on so
+  /// existing tests/tools see identical traces; throughput benchmarks turn
+  /// it off to measure the engine without trace recording.
+  bool tracing = true;
 };
 
 /// A fully-wired simulated deployment. Owns the Simulator; build one per

@@ -168,6 +168,12 @@ class Cluster {
   obs::Metrics& metrics() { return metrics_; }
   obs::Trace& trace() { return trace_; }
 
+  /// Toggle trace recording cluster-wide. The Trace object stays attached
+  /// (layers keep their pointer); recording just becomes a predicted-false
+  /// branch, so untraced runs pay nothing per event.
+  void set_tracing(bool on) { trace_.set_recording(on); }
+  [[nodiscard]] bool tracing() const { return trace_.recording(); }
+
  private:
   sim::Simulator& sim_;
   // Declared before net_: the network mirrors its counters here.

@@ -83,8 +83,14 @@ void Network::finalize_wire(std::uint64_t wire) {
   auto it = wire_spans_.find(wire);
   if (it == wire_spans_.end()) return;
   const WireSpan& w = it->second;
-  tr_->complete(w.t0, w.last - w.t0, "net", w.name, w.pid, w.bytes, w.trace,
-                w.span, w.parent, obs::Leg::network);
+  // tr_ can be null here even though the span exists: set_trace(nullptr)
+  // clears wire_spans_, but a delivery closure captured before the detach
+  // may still resolve a span id that was re-opened afterwards. Guard —
+  // recording into a detached trace was a crash.
+  if (tr_ != nullptr) {
+    tr_->complete(w.t0, w.last - w.t0, "net", w.name, w.pid, w.bytes, w.trace,
+                  w.span, w.parent, obs::Leg::network);
+  }
   wire_spans_.erase(it);
 }
 
@@ -110,7 +116,7 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
                           obs::TraceContext pkt_ctx, std::uint64_t wire) {
   if (cfg_.drop_prob > 0 && sim_.rng().uniform() < cfg_.drop_prob) {
     stats_.dropped_loss++;
-    if (mx_ != nullptr) mx_->counter("net", "dropped_loss")++;
+    if (mx_dropped_loss_ != nullptr) (*mx_dropped_loss_)++;
     if (tr_ != nullptr) tr_->instant(sim_.now(), "net", "drop_loss", dst.v);
     return;
   }
@@ -121,13 +127,13 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
     lat += cfg_.base_latency *
            static_cast<sim::Duration>(2 + sim_.rng().below(5));
     stats_.reordered++;
-    if (mx_ != nullptr) mx_->counter("net", "reordered")++;
+    if (mx_reordered_ != nullptr) (*mx_reordered_)++;
   }
   // Duplicate delivery: the datalink layer retransmitted after a lost ack;
   // the second copy trails the first by its own (usually longer) latency.
   if (cfg_.dup_prob > 0 && sim_.rng().uniform() < cfg_.dup_prob) {
     stats_.duplicated++;
-    if (mx_ != nullptr) mx_->counter("net", "duplicated")++;
+    if (mx_duplicated_ != nullptr) (*mx_duplicated_)++;
     schedule_delivery(src, dst, port, payload,
                       latency(size) + cfg_.base_latency * 3, pkt_ctx, wire);
   }
@@ -150,18 +156,18 @@ void Network::schedule_delivery(MachineId src, MachineId dst, Port port,
     Machine& m = cluster_.machine(dst);
     if (!m.up()) {
       stats_.dropped_down++;
-      if (mx_ != nullptr) mx_->counter("net", "dropped_down")++;
+      if (mx_dropped_down_ != nullptr) (*mx_dropped_down_)++;
       return;
     }
     if (!connected(src, dst)) {
       stats_.dropped_part++;
-      if (mx_ != nullptr) mx_->counter("net", "dropped_part")++;
+      if (mx_dropped_part_ != nullptr) (*mx_dropped_part_)++;
       return;
     }
     const PacketHandler* handler = m.handler_for(port);
     if (handler == nullptr) {
       stats_.dropped_noport++;
-      if (mx_ != nullptr) mx_->counter("net", "dropped_noport")++;
+      if (mx_dropped_noport_ != nullptr) (*mx_dropped_noport_)++;
       return;
     }
     stats_.deliveries++;

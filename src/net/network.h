@@ -5,9 +5,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/pool.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -61,6 +64,12 @@ class Network {
       mx_multicasts_ = &mx_->counter("net", "multicasts");
       mx_broadcasts_ = &mx_->counter("net", "broadcasts");
       mx_deliveries_ = &mx_->counter("net", "deliveries");
+      mx_dropped_loss_ = &mx_->counter("net", "dropped_loss");
+      mx_dropped_down_ = &mx_->counter("net", "dropped_down");
+      mx_dropped_part_ = &mx_->counter("net", "dropped_part");
+      mx_dropped_noport_ = &mx_->counter("net", "dropped_noport");
+      mx_duplicated_ = &mx_->counter("net", "duplicated");
+      mx_reordered_ = &mx_->counter("net", "reordered");
     }
   }
   Network(const Network&) = delete;
@@ -96,6 +105,16 @@ class Network {
 
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Attach or detach tracing mid-run. Detaching (nullptr) drops every
+  /// in-flight wire span: their delivery closures still resolve via
+  /// resolve_wire()/finalize_wire(), which must not touch a trace that is
+  /// no longer there.
+  void set_trace(obs::Trace* trace) {
+    tr_ = trace;
+    if (tr_ == nullptr) wire_spans_.clear();
+  }
+  [[nodiscard]] obs::Trace* trace() const { return tr_; }
 
   [[nodiscard]] const NetConfig& config() const { return cfg_; }
   void set_drop_prob(double p) { cfg_.drop_prob = p; }
@@ -152,13 +171,24 @@ class Network {
   /// Network is built standalone in a unit test.
   obs::Metrics* mx_ = nullptr;
   obs::Trace* tr_ = nullptr;
-  /// Traced wire packets in flight, keyed by their span id.
-  std::unordered_map<std::uint64_t, WireSpan> wire_spans_;
+  /// Traced wire packets in flight, keyed by their span id. Pooled nodes:
+  /// spans open and close on every traced wire packet.
+  std::unordered_map<
+      std::uint64_t, WireSpan, std::hash<std::uint64_t>,
+      std::equal_to<std::uint64_t>,
+      PoolAllocator<std::pair<const std::uint64_t, WireSpan>>>
+      wire_spans_;
   std::uint64_t* mx_wire_ = nullptr;
   std::uint64_t* mx_unicasts_ = nullptr;
   std::uint64_t* mx_multicasts_ = nullptr;
   std::uint64_t* mx_broadcasts_ = nullptr;
   std::uint64_t* mx_deliveries_ = nullptr;
+  std::uint64_t* mx_dropped_loss_ = nullptr;
+  std::uint64_t* mx_dropped_down_ = nullptr;
+  std::uint64_t* mx_dropped_part_ = nullptr;
+  std::uint64_t* mx_dropped_noport_ = nullptr;
+  std::uint64_t* mx_duplicated_ = nullptr;
+  std::uint64_t* mx_reordered_ = nullptr;
 };
 
 }  // namespace amoeba::net

@@ -12,7 +12,7 @@ Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data,
                                     obs::TraceContext ctx) {
   const sim::Time t0 = sim_.now();
   if (!would_fit(data.size())) {
-    if (mx_ != nullptr) mx_->counter("nvram", "full_rejects")++;
+    if (mx_full_rejects_ != nullptr) (*mx_full_rejects_)++;
     return Status::error(Errc::full, "nvram full");
   }
   if (torn_appends_ && !data.empty()) {
@@ -41,7 +41,7 @@ Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data,
   rec.data = std::move(data);
   log_.push_back(std::move(rec));
   ++appends_;
-  if (mx_ != nullptr) mx_->counter("nvram", "appends")++;
+  if (mx_appends_ != nullptr) (*mx_appends_)++;
   if (tr_ != nullptr) {
     const std::uint64_t sp = ctx.active() ? tr_->new_span_id() : 0;
     tr_->complete(t0, sim_.now() - t0, "nvram", "append", pid_, 0, ctx.trace,
@@ -68,7 +68,7 @@ bool Nvram::cancel(std::uint64_t id) {
   used_ -= footprint(it->data.size());
   log_.erase(it);
   ++cancels_;
-  if (mx_ != nullptr) mx_->counter("nvram", "cancels")++;
+  if (mx_cancels_ != nullptr) (*mx_cancels_)++;
   return true;
 }
 
@@ -84,7 +84,7 @@ std::size_t Nvram::cancel_tag(std::uint64_t tag) {
     }
   }
   cancels_ += n;
-  if (mx_ != nullptr && n > 0) mx_->add("nvram", "cancels", n);
+  if (mx_cancels_ != nullptr) *mx_cancels_ += n;
   return n;
 }
 

@@ -84,6 +84,13 @@ class Nvram {
     mx_ = metrics;
     tr_ = trace;
     pid_ = pid;
+    if (mx_ != nullptr) {
+      mx_appends_ = &mx_->counter("nvram", "appends");
+      mx_cancels_ = &mx_->counter("nvram", "cancels");
+      mx_full_rejects_ = &mx_->counter("nvram", "full_rejects");
+    } else {
+      mx_appends_ = mx_cancels_ = mx_full_rejects_ = nullptr;
+    }
   }
 
  private:
@@ -102,6 +109,9 @@ class Nvram {
   std::uint64_t cancels_ = 0;
   obs::Metrics* mx_ = nullptr;
   obs::Trace* tr_ = nullptr;
+  std::uint64_t* mx_appends_ = nullptr;
+  std::uint64_t* mx_cancels_ = nullptr;
+  std::uint64_t* mx_full_rejects_ = nullptr;
   std::uint32_t pid_ = 0;
 };
 

@@ -5,7 +5,7 @@
 
 namespace amoeba::obs {
 
-std::vector<std::uint64_t> trace_ids(const std::deque<TraceEvent>& events) {
+std::vector<std::uint64_t> trace_ids(const std::vector<TraceEvent>& events) {
   std::vector<std::uint64_t> out;
   for (const TraceEvent& ev : events) {
     if (ev.trace == 0) continue;
@@ -16,7 +16,7 @@ std::vector<std::uint64_t> trace_ids(const std::deque<TraceEvent>& events) {
   return out;
 }
 
-TraceTree build_tree(const std::deque<TraceEvent>& events,
+TraceTree build_tree(const std::vector<TraceEvent>& events,
                      std::uint64_t trace_id) {
   TraceTree t;
   t.trace = trace_id;

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "obs/trace.h"
@@ -72,10 +71,10 @@ struct LegBreakdown {
 
 /// All trace ids appearing in `events`, in first-appearance order.
 [[nodiscard]] std::vector<std::uint64_t> trace_ids(
-    const std::deque<TraceEvent>& events);
+    const std::vector<TraceEvent>& events);
 
 /// Rebuild the span tree of `trace_id` from the event ring.
-[[nodiscard]] TraceTree build_tree(const std::deque<TraceEvent>& events,
+[[nodiscard]] TraceTree build_tree(const std::vector<TraceEvent>& events,
                                    std::uint64_t trace_id);
 
 /// Sweep the root interval and attribute every microsecond to a leg.

@@ -30,6 +30,12 @@ namespace amoeba::obs {
 /// through the handle on the hot path — no string concatenation per event.
 using Counter = std::uint64_t;
 
+/// A pre-interned histogram handle, mirroring Counter: `histogram()`
+/// returns a stable reference to the sample vector, so per-event latency
+/// recording is a push_back through the handle instead of a
+/// "<layer>.<name>" string build plus map lookup per sample.
+using Hist = std::vector<double>;
+
 /// Summary of one histogram (sim-time latency samples, milliseconds).
 struct HistSummary {
   std::uint64_t n = 0;
@@ -70,10 +76,18 @@ class Metrics {
     counter(layer, name) += v;
   }
 
+  /// Fetch-or-create a histogram. The returned reference is stable for the
+  /// lifetime of the registry (reset() clears samples without erasing
+  /// keys), so hot paths cache it once and push samples for free.
+  Hist& histogram(const std::string& layer, const std::string& name) {
+    return hists_[layer + "." + name];
+  }
+
   /// Record one latency sample (milliseconds of sim time) into the
-  /// "<layer>.<name>" histogram.
+  /// "<layer>.<name>" histogram. Cold-path convenience; per-event code
+  /// should hold a histogram() handle instead.
   void observe(const std::string& layer, const std::string& name, double ms) {
-    hists_[layer + "." + name].push_back(ms);
+    histogram(layer, name).push_back(ms);
   }
 
   [[nodiscard]] Snapshot snapshot() const { return counters_; }
@@ -82,22 +96,21 @@ class Metrics {
   static Snapshot delta(const Snapshot& now, const Snapshot& before);
 
   [[nodiscard]] HistSummary hist(const std::string& key) const;
-  [[nodiscard]] const std::map<std::string, std::vector<double>>& hists()
-      const {
+  [[nodiscard]] const std::map<std::string, Hist>& hists() const {
     return hists_;
   }
   [[nodiscard]] std::vector<double> hist_samples(const std::string& key) const;
 
   void reset() {
-    // Keep the keys (cached counter references must stay valid), zero the
-    // values.
+    // Keep the keys (cached counter/histogram references must stay
+    // valid), clear the values.
     for (auto& [k, v] : counters_) v = 0;
-    hists_.clear();
+    for (auto& [k, v] : hists_) v.clear();
   }
 
  private:
   Snapshot counters_;
-  std::map<std::string, std::vector<double>> hists_;
+  std::map<std::string, Hist> hists_;
 };
 
 }  // namespace amoeba::obs

@@ -47,11 +47,11 @@ const char* leg_name(Leg leg) {
 
 std::string Trace::to_chrome_json() const {
   std::string out;
-  out.reserve(events_.size() * 128 + 64);
+  out.reserve(count_ * 128 + 64);
   out += "{\"traceEvents\":[\n";
   char line[512];
   bool first = true;
-  for (const TraceEvent& ev : events_) {
+  for_each([&](const TraceEvent& ev) {
     if (!first) out += ",\n";
     first = false;
     char args[224];
@@ -82,19 +82,19 @@ std::string Trace::to_chrome_json() const {
                     ev.ts, ev.dur, ev.cat, ev.name, ev.pid, args);
     }
     out += line;
-  }
+  });
   // Perfetto flow events ("s" at the parent, "f" at the child) along
   // parent-span links, so the causal tree renders as arrows across
   // machine lanes. Binding is by (cat, name, id) = ("flow", "dep", span).
   std::unordered_map<std::uint64_t, std::pair<sim::Time, std::uint32_t>>
       where;  // span id -> (start ts, pid)
-  for (const TraceEvent& ev : events_) {
+  for_each([&](const TraceEvent& ev) {
     if (ev.span != 0) where.emplace(ev.span, std::make_pair(ev.ts, ev.pid));
-  }
-  for (const TraceEvent& ev : events_) {
-    if (ev.span == 0 || ev.parent == 0) continue;
+  });
+  for_each([&](const TraceEvent& ev) {
+    if (ev.span == 0 || ev.parent == 0) return;
     auto it = where.find(ev.parent);
-    if (it == where.end()) continue;  // parent fell off the ring
+    if (it == where.end()) return;  // parent fell off the ring
     std::snprintf(line, sizeof(line),
                   ",\n{\"ph\":\"s\",\"ts\":%" PRId64
                   ",\"cat\":\"flow\",\"name\":\"dep\",\"id\":%" PRIu64
@@ -105,7 +105,7 @@ std::string Trace::to_chrome_json() const {
                   it->second.first, ev.span, it->second.second, ev.ts,
                   ev.span, ev.pid);
     out += line;
-  }
+  });
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
 }
@@ -113,7 +113,7 @@ std::string Trace::to_chrome_json() const {
 std::uint64_t Trace::digest() const {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   h = fnv1a_u64(h, dropped_);
-  for (const TraceEvent& ev : events_) {
+  for_each([&h](const TraceEvent& ev) {
     h = fnv1a_u64(h, static_cast<std::uint64_t>(ev.ts));
     h = fnv1a_u64(h, static_cast<std::uint64_t>(ev.dur));
     h = fnv1a(h, ev.cat, std::strlen(ev.cat));
@@ -124,7 +124,7 @@ std::uint64_t Trace::digest() const {
     h = fnv1a_u64(h, ev.span);
     h = fnv1a_u64(h, ev.parent);
     h = fnv1a_u64(h, static_cast<std::uint64_t>(ev.leg));
-  }
+  });
   return h;
 }
 

@@ -22,8 +22,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -78,24 +78,39 @@ class Trace {
                 const char* name, std::uint32_t pid, std::uint64_t arg = 0,
                 std::uint64_t trace = 0, std::uint64_t span = 0,
                 std::uint64_t parent = 0, Leg leg = Leg::none) {
+    if (!recording_) return;
     push({ts, dur < 0 ? 0 : dur, cat, name, pid, arg, trace, span, parent,
           leg});
   }
   void instant(sim::Time ts, const char* cat, const char* name,
                std::uint32_t pid, std::uint64_t arg = 0,
                std::uint64_t trace = 0) {
+    if (!recording_) return;
     push({ts, -1, cat, name, pid, arg, trace, 0, 0, Leg::none});
   }
+
+  /// Toggle recording. When off, complete()/instant() are a single
+  /// perfectly-predicted branch — per-event tracing costs nothing in runs
+  /// that never read the trace. Span/trace id counters keep advancing so
+  /// toggling does not perturb id sequences of recorded events.
+  void set_recording(bool on) { recording_ = on; }
+  [[nodiscard]] bool recording() const { return recording_; }
 
   /// Open a new causal tree. The returned context has no parent span;
   /// the caller allocates a root span with new_span_id().
   [[nodiscard]] TraceContext start_trace() { return {++next_trace_id_, 0}; }
   [[nodiscard]] std::uint64_t new_span_id() { return ++next_span_id_; }
 
-  [[nodiscard]] const std::deque<TraceEvent>& events() const {
-    return events_;
+  /// Recorded events, oldest first, materialized from the ring. Returns a
+  /// copy by design: callers that loop should hoist `auto evs = t.events();`
+  /// out of the loop instead of calling per iteration.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    for_each([&out](const TraceEvent& ev) { out.push_back(ev); });
+    return out;
   }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
   /// Events discarded because the ring was full (oldest-first).
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -107,7 +122,9 @@ class Trace {
   }
 
   void clear() {
-    events_.clear();
+    // Keep the ring allocation; only forget its contents.
+    head_ = 0;
+    count_ = 0;
     dropped_ = 0;
     next_trace_id_ = 0;
     next_span_id_ = 0;
@@ -122,17 +139,38 @@ class Trace {
   [[nodiscard]] std::uint64_t digest() const;
 
  private:
-  void push(TraceEvent ev) {
-    if (events_.size() >= capacity_) {
-      events_.pop_front();
+  void push(const TraceEvent& ev) {
+    if (ring_.empty()) ring_.resize(capacity_);  // lazy first-touch
+    if (count_ == capacity_) {
+      // Full: overwrite the oldest slot in place — no shifting, no
+      // allocation, O(1) regardless of capacity.
+      ring_[head_] = ev;
+      head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
       ++dropped_;
       if (dropped_counter_ != nullptr) ++*dropped_counter_;
+      return;
     }
-    events_.push_back(ev);
+    std::size_t tail = head_ + count_;
+    if (tail >= capacity_) tail -= capacity_;
+    ring_[tail] = ev;
+    ++count_;
+  }
+
+  /// Visit recorded events oldest-first without materializing a copy.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      std::size_t idx = head_ + i;
+      if (idx >= capacity_) idx -= capacity_;
+      f(ring_[idx]);
+    }
   }
 
   std::size_t capacity_;
-  std::deque<TraceEvent> events_;
+  std::vector<TraceEvent> ring_;  // fixed once sized; head_/count_ index it
+  std::size_t head_ = 0;          // oldest recorded event
+  std::size_t count_ = 0;         // number of live events
+  bool recording_ = true;
   std::uint64_t dropped_ = 0;
   std::uint64_t* dropped_counter_ = nullptr;
   std::uint64_t next_trace_id_ = 0;

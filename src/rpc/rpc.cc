@@ -139,7 +139,8 @@ RpcClient::RpcClient(Machine& machine)
       mx_packets_(machine.metrics().counter("rpc", "packets")),
       mx_timeouts_(machine.metrics().counter("rpc", "timeouts")),
       mx_failovers_(machine.metrics().counter("rpc", "failovers")),
-      mx_transactions_(machine.metrics().counter("rpc", "transactions")) {}
+      mx_transactions_(machine.metrics().counter("rpc", "transactions")),
+      mx_trans_ms_(machine.metrics().histogram("rpc", "trans_ms")) {}
 
 void RpcClient::note_hereis(Port port, MachineId server) {
   auto& entry = cache_[port];
@@ -259,8 +260,7 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
         if (type == MsgType::reply) {
           mx_packets_ += 2;  // reply + piggybacked ack
           ++mx_transactions_;
-          const double ms = sim::to_ms(sim.now() - t0);
-          machine_.metrics().observe("rpc", "trans_ms", ms);
+          mx_trans_ms_.push_back(sim::to_ms(sim.now() - t0));
           if (sp != 0) {
             // The piggybacked ack never crosses the wire as its own packet
             // in this repro (rpc.h); record it as a zero-length network

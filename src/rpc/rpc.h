@@ -150,6 +150,7 @@ class RpcClient {
   obs::Counter& mx_timeouts_;
   obs::Counter& mx_failovers_;
   obs::Counter& mx_transactions_;
+  obs::Hist& mx_trans_ms_;
 };
 
 /// Derives a client-unique reply port (top bit set to stay clear of

@@ -1,0 +1,146 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace amoeba::sim {
+
+static_assert(sizeof(Event) >= sizeof(void*), "freelist reuses event slots");
+
+EventQueue::~EventQueue() {
+  // Destroy any events still queued (undrained run, shutdown mid-flight).
+  for (Slot& s : slots_) {
+    for (Event* e = s.head; e != nullptr;) {
+      Event* n = e->next;
+      e->~Event();
+      e = n;
+    }
+  }
+  for (Event* e : overflow_) e->~Event();
+  // Freelist nodes hold already-destroyed events; arena_ frees the slabs.
+}
+
+Event* EventQueue::acquire() {
+  void* mem;
+  if (free_ != nullptr) {
+    mem = free_;
+    free_ = free_->next;
+  } else {
+    auto block = std::make_unique<std::byte[]>(kArenaBlock * sizeof(Event));
+    std::byte* base = block.get();
+    arena_.push_back(std::move(block));
+    // Chunks [1, kArenaBlock) seed the freelist; chunk 0 is returned.
+    for (std::size_t i = kArenaBlock; i-- > 1;) {
+      auto* n = reinterpret_cast<FreeNode*>(base + i * sizeof(Event));
+      n->next = free_;
+      free_ = n;
+    }
+    mem = base;
+  }
+  return new (mem) Event{};
+}
+
+void EventQueue::release(Event* e) {
+  e->~Event();
+  auto* n = reinterpret_cast<FreeNode*>(e);
+  n->next = free_;
+  free_ = n;
+}
+
+void EventQueue::mark_slot(std::size_t idx) {
+  occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  summary_ |= std::uint64_t{1} << (idx >> 6);
+}
+
+void EventQueue::clear_slot_mark(std::size_t idx) {
+  const std::size_t w = idx >> 6;
+  occupied_[w] &= ~(std::uint64_t{1} << (idx & 63));
+  if (occupied_[w] == 0) summary_ &= ~(std::uint64_t{1} << w);
+}
+
+std::size_t EventQueue::find_next_slot(std::size_t idx) const {
+  std::size_t w = idx >> 6;
+  const std::uint64_t first = occupied_[w] & (~std::uint64_t{0} << (idx & 63));
+  if (first != 0) {
+    return (w << 6) + static_cast<std::size_t>(std::countr_zero(first));
+  }
+  if (w + 1 >= occupied_.size()) return kWheelSlots;
+  const std::uint64_t rest = summary_ & (~std::uint64_t{0} << (w + 1));
+  if (rest == 0) return kWheelSlots;
+  w = static_cast<std::size_t>(std::countr_zero(rest));
+  return (w << 6) +
+         static_cast<std::size_t>(std::countr_zero(occupied_[w]));
+}
+
+void EventQueue::wheel_insert(Event* e) {
+  const auto idx =
+      static_cast<std::size_t>(static_cast<std::uint64_t>(e->time) & kMask);
+  Slot& s = slots_[idx];
+  e->next = nullptr;
+  if (s.tail != nullptr) {
+    s.tail->next = e;
+    s.tail = e;
+  } else {
+    s.head = s.tail = e;
+    mark_slot(idx);
+  }
+  ++wheel_count_;
+}
+
+void EventQueue::insert(Event* e) {
+  assert(e->time >= cur_ && "event scheduled into the queue's past");
+  ++size_;
+  if (e->time < wheel_base_ + static_cast<Time>(kWheelSlots)) {
+    wheel_insert(e);
+  } else {
+    overflow_.push_back(e);
+    std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+  }
+}
+
+void EventQueue::migrate_overflow() {
+  const Time window_end = wheel_base_ + static_cast<Time>(kWheelSlots);
+  while (!overflow_.empty() && overflow_.front()->time < window_end) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    Event* e = overflow_.back();
+    overflow_.pop_back();
+    wheel_insert(e);
+  }
+}
+
+Event* EventQueue::pop_at_or_before(Time limit) {
+  while (size_ != 0) {
+    if (wheel_count_ == 0) {
+      // Everything lives in the overflow heap: jump the window straight
+      // to its minimum instead of sweeping empty slots.
+      Event* top = overflow_.front();
+      if (top->time > limit) return nullptr;
+      wheel_base_ = top->time & ~static_cast<Time>(kMask);
+      cur_ = top->time;
+      migrate_overflow();
+      continue;
+    }
+    const auto base_idx =
+        static_cast<std::size_t>(static_cast<std::uint64_t>(cur_) & kMask);
+    const std::size_t idx = find_next_slot(base_idx);
+    // wheel_count_ > 0 and every wheel event has time >= cur_, so the next
+    // occupied slot is always at or after the cursor within this window.
+    assert(idx < kWheelSlots);
+    const Time t = wheel_base_ + static_cast<Time>(idx);
+    if (t > limit) return nullptr;  // cursor stays <= limit
+    cur_ = t;
+    Slot& s = slots_[idx];
+    Event* e = s.head;
+    s.head = e->next;
+    if (s.head == nullptr) {
+      s.tail = nullptr;
+      clear_slot_mark(idx);
+    }
+    --wheel_count_;
+    --size_;
+    return e;
+  }
+  return nullptr;
+}
+
+}  // namespace amoeba::sim

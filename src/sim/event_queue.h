@@ -1,0 +1,123 @@
+// Two-level calendar queue (timer wheel + overflow heap) for simulator
+// events, keyed on (time, seq).
+//
+// The old engine kept events in a std::priority_queue<Event>, paying a
+// log-n comparison cascade plus a std::function deep copy on every push
+// and every top-and-pop. Event times in this system are dense — network
+// latencies and disk services are tens-to-thousands of microseconds — so
+// a calendar queue makes both operations O(1):
+//
+//   - A 4096-slot wheel covers the window [wheel_base_, wheel_base_+4096)
+//     of 1 µs slots; wheel_base_ is always 4096-aligned, so slot index is
+//     simply time & 4095 and a window never wraps onto itself. Each slot
+//     is an intrusive FIFO list: same-time events append at the tail,
+//     which preserves (time, seq) order because seq grows monotonically.
+//     A 64x64-bit occupancy bitmap finds the next non-empty slot in O(1).
+//
+//   - Events beyond the window go to a min-heap on (time, seq). When the
+//     wheel drains, the window jumps straight to the heap's minimum and
+//     events inside the new window migrate to slots — popped from the
+//     heap in (time, seq) order, so FIFO appends keep ties ordered even
+//     against later same-time inserts (which always carry larger seqs).
+//
+// Event nodes are freelist-recycled from slab arenas: the steady state
+// allocates nothing, and the same few cache-hot nodes cycle through the
+// dispatch loop.
+//
+// The only mutating read is pop_at_or_before(limit): the scan cursor
+// never advances past `limit`, so the engine invariant "inserts happen at
+// time >= now" keeps every insert ahead of the cursor and nothing can be
+// scheduled into the queue's past.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/inline_fn.h"
+#include "sim/time.h"
+
+namespace amoeba::sim {
+
+class Process;
+
+/// One scheduled event. `fn` empty means a process wake (target `p`,
+/// valid for `epoch`); otherwise a scheduler-context closure.
+struct Event {
+  Time time = 0;
+  std::uint64_t seq = 0;
+  Event* next = nullptr;  // intrusive slot-list link
+  Process* p = nullptr;
+  std::uint64_t epoch = 0;
+  InlineFn fn;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Get a fresh node (freelist or arena). Caller fills it in and must
+  /// either insert() it or release() it.
+  Event* acquire();
+
+  /// Return a node to the freelist (destroys its closure).
+  void release(Event* e);
+
+  /// Insert a filled-in node. e->time must be >= the queue's cursor (the
+  /// engine guarantees this: events are posted at now or later).
+  void insert(Event* e);
+
+  /// Pop the earliest event with time <= limit, or nullptr. The cursor
+  /// never advances past limit.
+  Event* pop_at_or_before(Time limit);
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  static constexpr std::size_t kWheelBits = 12;
+  static constexpr std::size_t kWheelSlots = std::size_t{1} << kWheelBits;
+  static constexpr std::uint64_t kMask = kWheelSlots - 1;
+  static constexpr std::size_t kArenaBlock = 256;  // events per slab
+
+  struct Slot {
+    Event* head = nullptr;
+    Event* tail = nullptr;
+  };
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct HeapLater {  // min-heap on (time, seq) via std::push_heap
+    bool operator()(const Event* a, const Event* b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  void wheel_insert(Event* e);
+  void migrate_overflow();
+  [[nodiscard]] std::size_t find_next_slot(std::size_t idx) const;
+  void mark_slot(std::size_t idx);
+  void clear_slot_mark(std::size_t idx);
+
+  std::array<Slot, kWheelSlots> slots_{};
+  std::array<std::uint64_t, kWheelSlots / 64> occupied_{};
+  std::uint64_t summary_ = 0;  // bit w set <=> occupied_[w] != 0
+
+  Time wheel_base_ = 0;  // always kWheelSlots-aligned
+  Time cur_ = 0;         // scan cursor; inserts satisfy time >= cur_
+  std::size_t wheel_count_ = 0;
+  std::size_t size_ = 0;
+
+  std::vector<Event*> overflow_;  // heap, HeapLater
+
+  FreeNode* free_ = nullptr;
+  std::vector<std::unique_ptr<std::byte[]>> arena_;
+};
+
+}  // namespace amoeba::sim

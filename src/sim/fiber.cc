@@ -1,0 +1,213 @@
+#include "sim/fiber.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+// ---------------------------------------------------------------- ASan glue
+
+#if defined(__SANITIZE_ADDRESS__)
+#define AMOEBA_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define AMOEBA_FIBER_ASAN 1
+#endif
+#endif
+#ifndef AMOEBA_FIBER_ASAN
+#define AMOEBA_FIBER_ASAN 0
+#endif
+
+#if AMOEBA_FIBER_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
+
+#if AMOEBA_FIBER_ASM
+
+// ------------------------------------------------- x86-64 SysV context swap
+//
+// amoeba_ctx_swap(void** save_sp, void* new_sp):
+//   Saves the callee-saved registers (rbp rbx r12-r15) plus the FP control
+//   state on the current stack, stores rsp through save_sp, switches to
+//   new_sp and restores the same frame layout from there. Caller-saved
+//   registers need no treatment: to the compiler this is an ordinary
+//   function call.
+//
+// A freshly built fiber stack fakes exactly this frame, with the "return
+// address" slot pointing at amoeba_fiber_boot and r12 holding the Fiber*,
+// so the very first swap-in "returns" into the trampoline.
+asm(R"(
+  .text
+  .globl amoeba_ctx_swap
+  .type amoeba_ctx_swap,@function
+  .align 16
+amoeba_ctx_swap:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq $8, %rsp
+  stmxcsr (%rsp)
+  fnstcw 4(%rsp)
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  ldmxcsr (%rsp)
+  fldcw 4(%rsp)
+  addq $8, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  retq
+  .size amoeba_ctx_swap,.-amoeba_ctx_swap
+
+  .globl amoeba_fiber_boot
+  .type amoeba_fiber_boot,@function
+  .align 16
+amoeba_fiber_boot:
+  subq $8, %rsp
+  movq %r12, %rdi
+  callq amoeba_fiber_entry_thunk
+  ud2
+  .size amoeba_fiber_boot,.-amoeba_fiber_boot
+)");
+
+extern "C" {
+void amoeba_ctx_swap(void** save_sp, void* new_sp);
+void amoeba_fiber_boot();
+
+void amoeba_fiber_entry_thunk(void* fiber) {
+  static_cast<amoeba::sim::Fiber*>(fiber)->on_boot_entry();
+}
+}
+
+#else  // !AMOEBA_FIBER_ASM
+
+extern "C" void amoeba_fiber_entry_thunk(void* fiber) {
+  static_cast<amoeba::sim::Fiber*>(fiber)->on_boot_entry();
+}
+
+#endif
+
+namespace amoeba::sim {
+
+namespace {
+// x86-64 power-on defaults for the SSE/x87 control words; a fresh fiber
+// starts from the ABI-mandated state.
+constexpr std::uint32_t kDefaultMxcsr = 0x1F80;
+constexpr std::uint16_t kDefaultFcw = 0x037F;
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes, Entry entry, void* arg)
+    : entry_(entry), arg_(arg), stack_bytes_(stack_bytes) {
+  stack_ = static_cast<char*>(::operator new(stack_bytes_));
+#if AMOEBA_FIBER_ASM
+  // Build the initial frame that amoeba_ctx_swap's restore path expects.
+  // Addresses descend; `top` is 16-aligned.
+  auto top_addr =
+      (reinterpret_cast<std::uintptr_t>(stack_) + stack_bytes_) & ~15ULL;
+  char* top = reinterpret_cast<char*>(top_addr);
+  auto slot = [&](int i) {
+    return reinterpret_cast<std::uint64_t*>(top - 8 * (i + 1));
+  };
+  *slot(0) = 0;  // fake caller return address: terminates backtraces
+  *slot(1) = reinterpret_cast<std::uint64_t>(&amoeba_fiber_boot);  // ret addr
+  *slot(2) = 0;                                      // rbp
+  *slot(3) = 0;                                      // rbx
+  *slot(4) = reinterpret_cast<std::uint64_t>(this);  // r12 -> trampoline rdi
+  *slot(5) = 0;                                      // r13
+  *slot(6) = 0;                                      // r14
+  *slot(7) = 0;                                      // r15
+  std::uint64_t fp = kDefaultMxcsr | (std::uint64_t{kDefaultFcw} << 32);
+  *slot(8) = fp;  // stmxcsr (%rsp) / fnstcw 4(%rsp) layout
+  fiber_sp_ = slot(8);
+#else
+  getcontext(&fiber_ctx_);
+  fiber_ctx_.uc_stack.ss_sp = stack_;
+  fiber_ctx_.uc_stack.ss_size = stack_bytes_;
+  fiber_ctx_.uc_link = nullptr;
+  // makecontext's variadic ints can't portably carry a pointer; the
+  // trampoline recovers `this` via a helper taking two 32-bit halves.
+  auto lo = static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(this));
+  auto hi = static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(this) >>
+                                       32);
+  makecontext(
+      &fiber_ctx_,
+      reinterpret_cast<void (*)()>(+[](unsigned lo32, unsigned hi32) {
+        auto p = static_cast<std::uintptr_t>(lo32) |
+                 (static_cast<std::uintptr_t>(hi32) << 32);
+        amoeba_fiber_entry_thunk(reinterpret_cast<void*>(p));
+      }),
+      2, lo, hi);
+#endif
+}
+
+Fiber::~Fiber() { ::operator delete(stack_); }
+
+void Fiber::on_boot_entry() {
+#if AMOEBA_FIBER_ASAN
+  // First arrival on the fiber stack: learn where we came from so
+  // suspend() can annotate the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &host_stack_bottom_,
+                                  &host_stack_size_);
+#endif
+  entry_(arg_);
+  assert(false && "fiber entry returned; it must end with suspend_final()");
+}
+
+void Fiber::resume() {
+#if AMOEBA_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&host_fake_, stack_, stack_bytes_);
+#endif
+#if AMOEBA_FIBER_ASM
+  amoeba_ctx_swap(&host_sp_, fiber_sp_);
+#else
+  swapcontext(&host_ctx_, &fiber_ctx_);
+#endif
+#if AMOEBA_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(host_fake_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::suspend() {
+#if AMOEBA_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&fiber_fake_, host_stack_bottom_,
+                                 host_stack_size_);
+#endif
+#if AMOEBA_FIBER_ASM
+  amoeba_ctx_swap(&fiber_sp_, host_sp_);
+#else
+  swapcontext(&fiber_ctx_, &host_ctx_);
+#endif
+#if AMOEBA_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fiber_fake_, &host_stack_bottom_,
+                                  &host_stack_size_);
+#endif
+}
+
+void Fiber::suspend_final() {
+#if AMOEBA_FIBER_ASAN
+  // nullptr fake-stack save: tells ASan this context is done for good.
+  __sanitizer_start_switch_fiber(nullptr, host_stack_bottom_,
+                                 host_stack_size_);
+#endif
+#if AMOEBA_FIBER_ASM
+  amoeba_ctx_swap(&fiber_sp_, host_sp_);
+#else
+  swapcontext(&fiber_ctx_, &host_ctx_);
+#endif
+  assert(false && "finished fiber resumed");
+  __builtin_unreachable();
+}
+
+}  // namespace amoeba::sim

@@ -1,0 +1,80 @@
+// Stackful coroutine ("fiber") used to run simulated processes.
+//
+// The simulator's concurrency model — exactly one process runs at a time,
+// control handed back at blocking points — never needed OS threads; it
+// needed call stacks. The original engine used one thread per process with
+// a mutex/condvar handoff, which costs two futex round-trips (~6 µs) per
+// wake and caps the engine at ~0.2M events/s. A fiber switch is a handful
+// of register moves (~20 ns), runs on one OS thread, and keeps the
+// semantics bit-for-bit identical: same grant/yield protocol, same
+// ProcessKilled unwind through RAII frames, same (time, seq) event order.
+//
+// On x86-64 the switch is a small hand-written routine saving the SysV
+// callee-saved registers (see fiber.cc); elsewhere it falls back to
+// ucontext. Stacks are allocated with operator new — not mmap — so leak
+// checkers can scan suspended fiber stacks transitively and objects
+// referenced only from a blocked process's frame are not misreported.
+// Under AddressSanitizer the switches are annotated with the sanitizer
+// fiber API so stack poisoning follows the active context.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__unix__))
+#define AMOEBA_FIBER_ASM 1
+#else
+#define AMOEBA_FIBER_ASM 0
+#include <ucontext.h>
+#endif
+
+namespace amoeba::sim {
+
+class Fiber {
+ public:
+  using Entry = void (*)(void* arg);
+
+  /// The fiber does not run until the first resume(); `entry(arg)` then
+  /// executes on the fiber's own stack. `entry` must not return — it must
+  /// end with suspend_final().
+  Fiber(std::size_t stack_bytes, Entry entry, void* arg);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Host side: switch into the fiber. Returns when the fiber calls
+  /// suspend() or suspend_final().
+  void resume();
+
+  /// Fiber side: switch back to the host. Returns when resumed again.
+  void suspend();
+
+  /// Fiber side: final switch back to the host; the fiber never runs
+  /// again (its sanitizer bookkeeping is retired). Must be the last thing
+  /// the entry function does.
+  [[noreturn]] void suspend_final();
+
+  /// Internal: called by the boot trampoline on first entry.
+  void on_boot_entry();
+
+ private:
+  Entry entry_;
+  void* arg_;
+  char* stack_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+
+#if AMOEBA_FIBER_ASM
+  void* fiber_sp_ = nullptr;  // fiber's saved SP while suspended
+  void* host_sp_ = nullptr;   // host's saved SP while the fiber runs
+#else
+  ucontext_t fiber_ctx_;
+  ucontext_t host_ctx_;
+#endif
+
+  // AddressSanitizer fake-stack bookkeeping (unused otherwise).
+  void* host_fake_ = nullptr;
+  void* fiber_fake_ = nullptr;
+  const void* host_stack_bottom_ = nullptr;
+  std::size_t host_stack_size_ = 0;
+};
+
+}  // namespace amoeba::sim

@@ -1,0 +1,107 @@
+// Move-only type-erased `void()` callable with inline storage, used for
+// event closures. std::function is the wrong tool on the event hot path:
+// it requires copyability (so move-only captures need shared_ptr wrappers)
+// and its small-buffer capacity (16 bytes on libstdc++) heap-allocates
+// every network-delivery closure. InlineFn holds captures up to kCapacity
+// bytes in place — sized for the largest per-event closure in the system,
+// the network delivery lambda — and relocates by move, so posting and
+// dispatching an event never touches the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace amoeba::sim {
+
+class InlineFn {
+ public:
+  /// Fits Network::schedule_delivery's capture (~88 bytes) with headroom.
+  static constexpr std::size_t kCapacity = 96;
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& f) {  // NOLINT(implicit): mirrors std::function
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kCapacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      new (storage_) D(std::forward<F>(f));
+      ops_ = &InlineImpl<D>::ops;
+    } else {
+      // Oversized or throwing-move captures are boxed; cold path.
+      new (storage_) D*(new D(std::forward<F>(f)));
+      ops_ = &BoxedImpl<D>::ops;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* p);
+    /// Move-construct *dst from *src, then destroy *src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* p);
+  };
+
+  template <typename F>
+  struct InlineImpl {
+    static void invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void relocate(void* dst, void* src) {
+      F* s = static_cast<F*>(src);
+      new (dst) F(std::move(*s));
+      s->~F();
+    }
+    static void destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct BoxedImpl {
+    static void invoke(void* p) { (**static_cast<F**>(p))(); }
+    static void relocate(void* dst, void* src) {
+      new (dst) F*(*static_cast<F**>(src));
+    }
+    static void destroy(void* p) { delete *static_cast<F**>(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace amoeba::sim

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/pool.h"
 #include "sim/waitq.h"
 
 namespace amoeba::sim {
@@ -55,7 +56,8 @@ class Mailbox {
     return item;
   }
 
-  std::deque<T> q_;
+  // Pooled blocks: mailboxes churn on every packet delivery.
+  std::deque<T, PoolAllocator<T>> q_;
   WaitQueue wq_;
 };
 

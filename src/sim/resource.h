@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/pool.h"
 #include "sim/waitq.h"
 
 namespace amoeba::sim {
@@ -46,7 +47,7 @@ class FifoResource {
   Simulator& sim_;
   std::string name_;
   WaitQueue wq_;
-  std::deque<Ticket*> waiters_;
+  std::deque<Ticket*, PoolAllocator<Ticket*>> waiters_;
   bool busy_ = false;
   std::uint64_t next_ticket_ = 0;
   std::uint64_t ops_ = 0;

@@ -9,28 +9,29 @@ namespace amoeba::sim {
 
 namespace {
 thread_local Process* t_current = nullptr;
+
+/// Fiber stacks. 1 MiB of address space per process; pages are committed
+/// lazily by the OS, so hundreds of mostly-idle processes stay cheap while
+/// deep service paths (resync, recovery replay) keep ample headroom.
+constexpr std::size_t kStackBytes = 1024 * 1024;
 }  // namespace
 
 // ---------------------------------------------------------------- Process
 
 Process::Process(Simulator& sim, std::uint64_t pid, std::string name,
                  std::function<void()> body)
-    : sim_(sim), pid_(pid), name_(std::move(name)), body_(std::move(body)) {
-  thread_ = std::thread([this] { thread_main(); });
+    : sim_(sim),
+      pid_(pid),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      fiber_(kStackBytes, &Process::fiber_main, this) {}
+
+void Process::fiber_main(void* self) {
+  static_cast<Process*>(self)->run_body();
 }
 
-Process::~Process() {
-  if (thread_.joinable()) thread_.join();
-}
-
-void Process::thread_main() {
-  t_current = this;
-  // Wait for the first grant before touching any simulator state.
-  {
-    std::unique_lock lk(m_);
-    cv_.wait(lk, [this] { return run_granted_; });
-    run_granted_ = false;
-  }
+void Process::run_body() {
+  // First grant arrives here, on the fiber's own stack.
   if (!kill_) {
     try {
       body_();
@@ -47,37 +48,31 @@ void Process::thread_main() {
   // Release captured state (shared_ptrs to endpoints etc.) now — the
   // Process object itself lives until the Simulator is destroyed.
   body_ = nullptr;
-  // Hand control back to the scheduler one final time.
-  std::unique_lock lk(m_);
   finished_ = true;
-  yielded_ = true;
-  cv_.notify_all();
+  // Hand control back to the scheduler for good.
+  fiber_.suspend_final();
 }
 
 void Process::yield() {
-  std::unique_lock lk(m_);
-  yielded_ = true;
-  cv_.notify_all();
-  cv_.wait(lk, [this] { return run_granted_; });
-  run_granted_ = false;
+  fiber_.suspend();
   // A fresh epoch: wake events scheduled before this resume are now stale.
   ++wake_epoch_;
   if (kill_) throw ProcessKilled{};
 }
 
 void Process::grant() {
-  std::unique_lock lk(m_);
-  run_granted_ = true;
-  cv_.notify_all();
-  cv_.wait(lk, [this] { return yielded_; });
-  yielded_ = false;
+  Process* prev = t_current;
+  t_current = this;
+  fiber_.resume();
+  t_current = prev;
 }
 
 // -------------------------------------------------------------- Simulator
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
-  log::set_clock([this] { return now_; });
-  had_clock_hook_ = true;
+  // push/pop (not set/clear): two coexisting simulators each install a
+  // clock, and destroying either one must leave the other's intact.
+  clock_id_ = log::push_clock([this] { return now_; });
 }
 
 void Simulator::shutdown() {
@@ -95,7 +90,7 @@ void Simulator::shutdown() {
 
 Simulator::~Simulator() {
   shutdown();
-  if (had_clock_hook_) log::clear_clock();
+  log::pop_clock(clock_id_);
 }
 
 Process* Simulator::current() { return t_current; }
@@ -109,67 +104,61 @@ Process* Simulator::spawn(std::string name, std::function<void()> body) {
   return p;
 }
 
-void Simulator::post(Duration delay, std::function<void()> fn) {
-  assert(delay >= 0);
-  Event ev;
-  ev.time = now_ + delay;
-  ev.seq = next_seq_++;
-  ev.fn = std::move(fn);
-  queue_.push(std::move(ev));
-}
-
 void Simulator::schedule_wake(Process* p, Time t) {
   assert(t >= now_);
-  Event ev;
-  ev.time = t;
-  ev.seq = next_seq_++;
-  ev.p = p;
-  ev.epoch = p->wake_epoch_;
-  queue_.push(std::move(ev));
+  Event* e = queue_.acquire();
+  e->time = t;
+  e->seq = next_seq_++;
+  e->p = p;
+  e->epoch = p->wake_epoch_;
+  queue_.insert(e);
 }
 
 void Simulator::kill(Process* p) {
   if (p->finished_) return;
   p->kill_ = true;
   // Force-wake regardless of epoch so the kill lands promptly. The epoch
-  // check below is bypassed by re-reading the flag.
-  Event ev;
-  ev.time = now_;
-  ev.seq = next_seq_++;
-  ev.p = p;
-  ev.epoch = p->wake_epoch_;
-  queue_.push(std::move(ev));
+  // check in dispatch is bypassed by re-reading the flag.
+  Event* e = queue_.acquire();
+  e->time = now_;
+  e->seq = next_seq_++;
+  e->p = p;
+  e->epoch = p->wake_epoch_;
+  queue_.insert(e);
 }
 
-void Simulator::dispatch(Event& ev) {
-  if (ev.fn) {
-    ev.fn();
+void Simulator::dispatch(Event* e) {
+  ++events_dispatched_;
+  if (e->fn) {
+    // Move the closure out and recycle the node first, so closures that
+    // post new events reuse the same cache-hot slab entries.
+    InlineFn fn = std::move(e->fn);
+    queue_.release(e);
+    fn();
     return;
   }
-  Process* p = ev.p;
+  Process* p = e->p;
+  const std::uint64_t epoch = e->epoch;
+  queue_.release(e);
   if (p->finished_) return;
   // A stale wake resumes the process only if a kill is pending (the kill
   // event was enqueued with the then-current epoch, which a later legitimate
   // resume may have bumped).
-  if (ev.epoch != p->wake_epoch_ && !p->kill_) return;
+  if (epoch != p->wake_epoch_ && !p->kill_) return;
   p->grant();
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    dispatch(ev);
+  while (Event* e = queue_.pop_at_or_before(kTimeMax)) {
+    now_ = e->time;
+    dispatch(e);
   }
 }
 
 void Simulator::run_until(Time t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    dispatch(ev);
+  while (Event* e = queue_.pop_at_or_before(t)) {
+    now_ = e->time;
+    dispatch(e);
   }
   if (now_ < t) now_ = t;
 }

@@ -1,10 +1,11 @@
 // Deterministic discrete-event simulator with blocking-style processes.
 //
-// Each simulated process is an OS thread, but exactly one of them runs at a
-// time: the scheduler hands control to a process, and the process hands it
-// back when it blocks in a simulator primitive (sleep, WaitQueue, Mailbox,
-// FifoResource). The event queue is ordered by (time, insertion sequence),
-// so a run is fully deterministic for a given seed.
+// Each simulated process is a fiber (stackful coroutine, see fiber.h) and
+// exactly one of them runs at a time: the scheduler hands control to a
+// process, and the process hands it back when it blocks in a simulator
+// primitive (sleep, WaitQueue, Mailbox, FifoResource). The event queue is
+// ordered by (time, insertion sequence), so a run is fully deterministic
+// for a given seed.
 //
 // Because only one process ever runs at a time, simulated code needs no
 // mutexes; shared state is safe as long as invariants hold at every blocking
@@ -12,17 +13,17 @@
 // current) blocking point throw ProcessKilled, unwinding its RAII frames.
 #pragma once
 
-#include <condition_variable>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <queue>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rand.h"
+#include "sim/event_queue.h"
+#include "sim/fiber.h"
 #include "sim/time.h"
 
 namespace amoeba::sim {
@@ -38,7 +39,7 @@ struct ProcessKilled {};
 /// valid until the Simulator is destroyed.
 class Process {
  public:
-  ~Process();
+  ~Process() = default;
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
 
@@ -54,7 +55,8 @@ class Process {
   Process(Simulator& sim, std::uint64_t pid, std::string name,
           std::function<void()> body);
 
-  void thread_main();
+  static void fiber_main(void* self);
+  void run_body();
   /// Give control back to the scheduler; returns when rescheduled.
   /// Throws ProcessKilled if a kill was requested.
   void yield();
@@ -66,15 +68,10 @@ class Process {
   std::string name_;
   std::function<void()> body_;
 
-  std::mutex m_;
-  std::condition_variable cv_;
-  bool run_granted_ = false;
-  bool yielded_ = false;
-
   std::uint64_t wake_epoch_ = 0;  // bumped on every resume; stale wakes skip
   bool kill_ = false;
   bool finished_ = false;
-  std::thread thread_;
+  Fiber fiber_;
 };
 
 class Simulator {
@@ -88,8 +85,18 @@ class Simulator {
   Process* spawn(std::string name, std::function<void()> body);
 
   /// Run a closure in scheduler context at now+delay. The closure must not
-  /// block. Used for timers and network delivery.
-  void post(Duration delay, std::function<void()> fn);
+  /// block. Used for timers and network delivery. Accepts any callable,
+  /// including move-only captures; captures up to InlineFn::kCapacity bytes
+  /// are stored without heap allocation.
+  template <typename F>
+  void post(Duration delay, F&& fn) {
+    assert(delay >= 0);
+    Event* e = queue_.acquire();
+    e->time = now_ + delay;
+    e->seq = next_seq_++;
+    e->fn = InlineFn(std::forward<F>(fn));
+    queue_.insert(e);
+  }
 
   /// Request that `p` be unwound with ProcessKilled at its current or next
   /// blocking point. Idempotent; no-op on finished processes.
@@ -112,6 +119,13 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] Prng& rng() { return rng_; }
 
+  /// Total events dispatched (closures + process wakes) since construction.
+  /// Deterministic for a given seed; the engine bench and stress tests key
+  /// off it.
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return events_dispatched_;
+  }
+
   /// Process that is currently executing on this thread, or nullptr when
   /// called from scheduler/test context.
   static Process* current();
@@ -130,21 +144,7 @@ class Simulator {
   void schedule_wake(Process* p, Time t);
 
  private:
-  struct Event {
-    Time time;
-    std::uint64_t seq;
-    Process* p = nullptr;          // wake target (nullptr => closure event)
-    std::uint64_t epoch = 0;       // epoch the wake was scheduled for
-    std::function<void()> fn;      // closure event
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  void dispatch(Event& ev);
+  void dispatch(Event* e);
   void note_process_error(const std::string& msg) {
     process_errors_.push_back(msg);
   }
@@ -154,11 +154,12 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_pid_ = 1;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t events_dispatched_ = 0;
+  EventQueue queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   Prng rng_;
   std::vector<std::string> process_errors_;
-  bool had_clock_hook_ = false;
+  std::uint64_t clock_id_ = 0;
 };
 
 }  // namespace amoeba::sim

@@ -5,6 +5,10 @@
 
 namespace amoeba::sim {
 
+WaitQueue::~WaitQueue() {
+  for (Node* n : nodes_) n->detached = true;
+}
+
 bool WaitQueue::block(Time deadline) {
   Process* p = Simulator::current();
   assert(p != nullptr && "WaitQueue::wait must be called from a process");
@@ -13,9 +17,10 @@ bool WaitQueue::block(Time deadline) {
   // Local class: removes the node on every exit path, including the
   // ProcessKilled unwind.
   struct Deregister {
-    std::deque<Node*>* nodes;
+    std::deque<Node*, PoolAllocator<Node*>>* nodes;
     Node* node;
     ~Deregister() {
+      if (node->detached) return;  // the queue is already gone
       auto it = std::find(nodes->begin(), nodes->end(), node);
       if (it != nodes->end()) nodes->erase(it);
     }

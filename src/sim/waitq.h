@@ -8,6 +8,7 @@
 
 #include <deque>
 
+#include "common/pool.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -16,6 +17,11 @@ namespace amoeba::sim {
 class WaitQueue {
  public:
   explicit WaitQueue(Simulator& sim) : sim_(sim) {}
+  /// A queue may die while fibers are still blocked on it (machine crash
+  /// teardown, test scope exit): detach their nodes so the blocked side's
+  /// cleanup never touches the dead queue. Such waiters stay blocked until
+  /// notified-by-nobody, i.e. until killed.
+  ~WaitQueue();
   WaitQueue(const WaitQueue&) = delete;
   WaitQueue& operator=(const WaitQueue&) = delete;
 
@@ -37,12 +43,15 @@ class WaitQueue {
   struct Node {
     Process* p;
     bool notified = false;
+    bool detached = false;  // queue died while this waiter was blocked
   };
 
   bool block(Time deadline);  // shared impl; kFar deadline == none
 
   Simulator& sim_;
-  std::deque<Node*> nodes_;  // stack-allocated nodes of blocked processes
+  // Stack-allocated nodes of blocked processes; pooled blocks (block/wake
+  // churn is a per-event path).
+  std::deque<Node*, PoolAllocator<Node*>> nodes_;
 };
 
 }  // namespace amoeba::sim

@@ -338,5 +338,39 @@ TEST_F(NetFixture, JitterIsDeterministicPerSeed) {
   EXPECT_NE(run_once(3), run_once(4));
 }
 
+// Regression: detaching the trace while a traced wire span is in flight
+// used to leave finalize_wire() dereferencing a null trace when the last
+// delivery closure resolved. Detach must drop in-flight spans; re-attach
+// must trace new sends again.
+TEST_F(NetFixture, DetachTraceMidFlightThenReattach) {
+  Machine& a = cluster.add_machine("a");
+  Machine& b = cluster.add_machine("b");
+  int received = 0;
+  b.spawn("recv", [&] {
+    Endpoint ep(b, kPort);
+    while (ep.mailbox().recv_until(sim::msec(400))) ++received;
+  });
+  a.spawn("send", [&] {
+    // Traced send, then detach before its delivery closure resolves.
+    a.net().unicast(a.id(), b.id(), kPort, to_buffer("traced"),
+                    obs::TraceContext{42, 0});
+    a.net().set_trace(nullptr);
+    sim.sleep_for(sim::msec(50));  // delivery resolves while detached
+    // Untraced sends while detached must also be harmless.
+    a.net().unicast(a.id(), b.id(), kPort, to_buffer("dark"),
+                    obs::TraceContext{43, 0});
+    sim.sleep_for(sim::msec(50));
+    // Re-attach: new traced sends produce wire spans again.
+    a.net().set_trace(&cluster.trace());
+    const std::size_t before = cluster.trace().size();
+    a.net().unicast(a.id(), b.id(), kPort, to_buffer("lit"),
+                    obs::TraceContext{44, 0});
+    sim.sleep_for(sim::msec(50));
+    EXPECT_GT(cluster.trace().size(), before);
+  });
+  sim.run_until(sim::msec(500));
+  EXPECT_EQ(received, 3);
+}
+
 }  // namespace
 }  // namespace amoeba::net

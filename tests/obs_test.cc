@@ -6,7 +6,10 @@
 // must not depend on how much warmup traffic preceded the window.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,30 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpc/rpc.h"
+
+// Allocation probe for the hot-path tests: the replacement operator new
+// counts while armed, then delegates. Link-time replacement covers the
+// whole test binary, so arm it only around the section under test.
+namespace {
+std::size_t g_alloc_count = 0;
+bool g_count_allocs = false;
+}  // namespace
+
+// GCC flags free() on new'ed pointers without seeing that the replacement
+// operator new below is itself malloc-backed — a false positive here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  if (g_count_allocs) ++g_alloc_count;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace amoeba {
 namespace {
@@ -50,6 +77,38 @@ TEST(Metrics, ResetZeroesValuesButKeepsCachedRefs) {
   a += 2;  // the cached reference must still point into the registry
   EXPECT_EQ(m.snapshot().at("disk.writes"), 2u);
   EXPECT_FALSE(m.hist("disk.write_ms").ok);
+}
+
+TEST(Metrics, HistogramHandleIsStableAcrossReset) {
+  obs::Metrics m;
+  obs::Hist& h = m.histogram("rpc", "trans_ms");
+  m.observe("rpc", "trans_ms", 1.5);  // cold-path helper hits the same vector
+  EXPECT_EQ(h.size(), 1u);
+  m.reset();
+  EXPECT_TRUE(h.empty());  // cleared in place, node kept
+  h.push_back(2.5);        // the cached handle still records
+  EXPECT_EQ(m.hist("rpc.trans_ms").n, 1u);
+  EXPECT_DOUBLE_EQ(m.hist("rpc.trans_ms").mean, 2.5);
+}
+
+// The steady-state recording path — an interned counter bump plus a
+// histogram sample within reserved capacity — must not touch the heap.
+// (The old observe() built a "<layer>.<name>" string per sample.)
+TEST(Metrics, InternedHandlesRecordWithoutAllocating) {
+  obs::Metrics m;
+  obs::Counter& c = m.counter("rpc", "packets");
+  obs::Hist& h = m.histogram("rpc", "trans_ms");
+  h.reserve(1024);
+  g_alloc_count = 0;
+  g_count_allocs = true;
+  for (int i = 0; i < 1000; ++i) {
+    c += 1;
+    h.push_back(0.5 * i);
+  }
+  g_count_allocs = false;
+  EXPECT_EQ(g_alloc_count, 0u);
+  EXPECT_EQ(c, 1000u);
+  EXPECT_EQ(h.size(), 1000u);
 }
 
 TEST(Metrics, PercentilesInterpolate) {
@@ -141,6 +200,31 @@ TEST(Trace, RingDropsOldestAndDigestsContent) {
   EXPECT_EQ(t.digest(), u.digest());
   u.instant(31, "group", "reset", 3);
   EXPECT_NE(t.digest(), u.digest());
+}
+
+TEST(Trace, RecordingGateDropsEventsWhileDetached) {
+  obs::Trace t;
+  t.set_recording(false);
+  t.complete(10, 5, "net", "deliver", 1);
+  t.instant(20, "group", "view", 2);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);  // gated events are not "dropped" overflow
+  t.set_recording(true);
+  t.instant(30, "group", "reset", 3);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Trace, ClearKeepsRecordingUsable) {
+  obs::Trace t(4);
+  for (int i = 0; i < 6; ++i) t.instant(i, "net", "drop_loss", 1);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 2u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  t.instant(99, "net", "drop_loss", 1);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events().front().ts, 99);
 }
 
 TEST(Trace, ChromeJsonShape) {

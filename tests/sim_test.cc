@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "sim/mailbox.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -137,6 +140,91 @@ TEST(SimulatorTest, UncaughtExceptionRecorded) {
   EXPECT_NE(s.process_errors()[0].find("boom"), std::string::npos);
 }
 
+// Regression: each Simulator installs a log clock, and destroying one used
+// to clear the global clock outright — a second, still-live Simulator then
+// logged wall-zero timestamps (or worse, through a dangling `this`). The
+// stack keeps the surviving simulator's clock active for both destruction
+// orders.
+TEST(SimulatorTest, LogClockSurvivesOtherSimulatorDestruction) {
+  std::vector<std::string> lines;
+  log::set_sink([&lines](log::Level, const std::string& l) {
+    lines.push_back(l);
+  });
+  const auto timestamp_of = [&](Simulator& s) {
+    lines.clear();
+    LOG_ERROR << "probe";
+    EXPECT_EQ(lines.size(), 1u);
+    char expect[32];
+    std::snprintf(expect, sizeof expect, "[%8.3fms]",
+                  static_cast<double>(s.now()) / 1000.0);
+    return !lines.empty() && lines.front().rfind(expect, 0) == 0;
+  };
+
+  {  // LIFO destruction: newest simulator dies first, oldest clock remains.
+    auto a = std::make_unique<Simulator>(1);
+    a->run_until(msec(7));
+    {
+      Simulator b(2);
+      b.run_until(msec(3));
+      EXPECT_TRUE(timestamp_of(b));  // newest clock wins while both live
+    }
+    EXPECT_TRUE(timestamp_of(*a));
+  }
+  {  // Non-LIFO: the OLDER simulator dies first; the newer one's clock
+    // must stay installed (this order dangled with set/clear semantics).
+    auto a = std::make_unique<Simulator>(1);
+    auto b = std::make_unique<Simulator>(2);
+    b->run_until(msec(11));
+    a.reset();
+    EXPECT_TRUE(timestamp_of(*b));
+  }
+  log::set_sink(nullptr);
+}
+
+namespace {
+struct CopyCounter {
+  static int copies;
+  CopyCounter() = default;
+  CopyCounter(const CopyCounter&) { ++copies; }
+  CopyCounter(CopyCounter&&) noexcept {}
+  CopyCounter& operator=(const CopyCounter&) {
+    ++copies;
+    return *this;
+  }
+  CopyCounter& operator=(CopyCounter&&) noexcept { return *this; }
+};
+int CopyCounter::copies = 0;
+}  // namespace
+
+// post() accepts move-only closures, and dispatch moves the closure out of
+// the event instead of copying it (the old engine deep-copied the whole
+// Event, payload included, on every dispatch).
+TEST(SimulatorTest, PostedClosureIsMovedNotCopied) {
+  Simulator s;
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  s.post(msec(1), [p = std::move(owned), &got] { got = *p + 1; });
+
+  CopyCounter::copies = 0;
+  bool ran = false;
+  s.post(msec(2), [c = CopyCounter{}, &ran] { ran = true; });
+  s.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(CopyCounter::copies, 0);
+}
+
+TEST(SimulatorTest, EventsDispatchedCountsClosuresAndWakes) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) s.post(msec(i), [&] { fired++; });
+  s.spawn("sleeper", [&] { s.sleep_for(msec(3)); });
+  s.run();
+  EXPECT_EQ(fired, 10);
+  // 10 closures + the spawn grant + the sleep wake.
+  EXPECT_EQ(s.events_dispatched(), 12u);
+}
+
 TEST(SimulatorTest, DestructorKillsBlockedProcesses) {
   bool cleaned = false;
   {
@@ -169,6 +257,21 @@ TEST(WaitQueueTest, NotifyOneWakesExactlyOne) {
   });
   s.run_until(msec(1));
   EXPECT_EQ(woke, 1);
+}
+
+// Regression: destroying a queue while fibers are still blocked on it,
+// then killing those fibers, used to make the blocked side's cleanup walk
+// the dead queue's waiter list (heap-use-after-free under ASan).
+TEST(WaitQueueTest, QueueDestroyedBeforeBlockedWaiterUnwinds) {
+  Simulator s;
+  auto wq = std::make_unique<WaitQueue>(s);
+  for (int i = 0; i < 3; ++i) {
+    s.spawn("w" + std::to_string(i), [&] { wq->wait(); });
+  }
+  s.run_until(10);   // all three blocked
+  wq.reset();        // queue dies first
+  // Simulator destruction kills the blocked processes; their unwind must
+  // not touch the freed queue.
 }
 
 TEST(WaitQueueTest, NotifyAllWakesEveryone) {

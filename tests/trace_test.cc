@@ -48,8 +48,9 @@ std::map<std::string, obs::TraceTree> run_one_of_each(harness::Flavor flavor,
   bed.sim().run_for(sim::sec(2));  // drain replica persists into the trace
 
   std::map<std::string, obs::TraceTree> trees;
-  for (std::uint64_t id : obs::trace_ids(bed.trace().events())) {
-    obs::TraceTree t = obs::build_tree(bed.trace().events(), id);
+  const std::vector<obs::TraceEvent> events = bed.trace().events();
+  for (std::uint64_t id : obs::trace_ids(events)) {
+    obs::TraceTree t = obs::build_tree(events, id);
     if (t.root == obs::TraceTree::kNone) continue;
     const obs::TraceEvent& root = t.spans[t.root];
     if (std::strcmp(root.cat, "dir") != 0) continue;

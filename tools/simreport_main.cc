@@ -151,9 +151,10 @@ void run_flavor(harness::Flavor flavor, std::uint64_t seed, int ops,
 
   // Rebuild every operation's tree and bucket by the root span's name.
   const obs::Trace& trace = bed.trace();
+  const std::vector<obs::TraceEvent> events = trace.events();  // hoist copy
   std::map<std::string, OpAgg> by_op;
-  for (std::uint64_t id : obs::trace_ids(trace.events())) {
-    const obs::TraceTree tree = obs::build_tree(trace.events(), id);
+  for (std::uint64_t id : obs::trace_ids(events)) {
+    const obs::TraceTree tree = obs::build_tree(events, id);
     if (tree.root == obs::TraceTree::kNone) continue;
     const obs::TraceEvent& root = tree.spans[tree.root];
     if (std::strcmp(root.cat, "dir") != 0) continue;
