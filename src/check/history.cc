@@ -57,6 +57,10 @@ void History::set_listing(std::size_t idx, std::vector<std::string> names) {
   events_[idx].listing = std::move(names);
 }
 
+void History::set_invoke(std::size_t idx, sim::Time t) {
+  if (t < events_[idx].invoke) events_[idx].invoke = t;
+}
+
 int History::count(Outcome o) const {
   int n = 0;
   for (const auto& ev : events_) n += (ev.outcome == o) ? 1 : 0;
@@ -114,6 +118,12 @@ Result<cap::Capability> RecordingDirClient::lookup(const cap::Capability& dir,
   const std::size_t idx =
       history_.begin(client_, OpKind::lookup, dir.object, name, now());
   auto res = inner_.lookup(dir, name);
+  if (inner_.last_lookup_from_cache()) {
+    // Served from a lease: widen the invocation back to the fill RPC's
+    // invocation so the checker accepts any value legal at some point of
+    // that wider interval (see History::set_invoke).
+    history_.set_invoke(idx, inner_.last_hit_fill_invoke());
+  }
   history_.end(idx, classify(OpKind::lookup, res.code()), res.code(), now());
   return res;
 }

@@ -64,6 +64,13 @@ class History {
   void end(std::size_t idx, Outcome outcome, Errc errc, sim::Time now);
   void set_dir_obj(std::size_t idx, std::uint32_t obj);
   void set_listing(std::size_t idx, std::vector<std::string> names);
+  /// Lease-cache widening: a lookup served from a client's lease cache
+  /// returns the value some earlier RPC observed. Moving the invocation
+  /// back to that RPC's invocation point makes the hit a legal (wide)
+  /// linearizable read — the widening only REMOVES real-time precedence
+  /// edges, so the check stays sound regardless of invalidation timing.
+  /// Never moves the invocation forward.
+  void set_invoke(std::size_t idx, sim::Time t);
 
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }

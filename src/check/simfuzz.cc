@@ -170,6 +170,8 @@ FuzzReport run_one(const FuzzOptions& opts) {
     to.debug_stale_reads_server = static_cast<int>(opts.seed % 3);
   }
   to.group_history_limit = opts.group_history_limit;
+  to.lease_caching = opts.lease_caching && is_group(opts.flavor);
+  to.batching = opts.batching && is_group(opts.flavor);
   Testbed bed(to);
   sim::Simulator& sim = bed.sim();
   const int nservers = bed.num_dir_servers();
@@ -192,6 +194,7 @@ FuzzReport run_one(const FuzzOptions& opts) {
       net::Machine& m = bed.client(c);
       rpc::RpcClient rpc(m);
       dir::DirClient dc(rpc, bed.dir_port());
+      if (to.lease_caching) dc.enable_leases();
       RecordingDirClient rec(dc, history, c);
       auto& rng = m.sim().rng();
 
@@ -455,6 +458,8 @@ std::string repro_command(const FuzzOptions& opts,
                     std::to_string(opts.keys);
   if (opts.inject_stale_reads) cmd += " --inject-bug";
   if (opts.legacy_faults) cmd += " --faults legacy";
+  if (opts.lease_caching) cmd += " --leases";
+  if (opts.batching) cmd += " --batching";
   if (schedule.empty()) {
     cmd += " --steps 0";
   } else {

@@ -40,6 +40,13 @@ struct FuzzOptions {
   /// When > 0, run the group flavors with a tiny group-history limit so
   /// recovery races against history pruning (regression-test hook).
   std::size_t group_history_limit = 0;
+  /// Lease caching under fire: servers grant leases, every fuzz client
+  /// enables its lease cache, and the checker verifies the widened reads
+  /// (cache hits count as reads at their fill RPC's invocation point).
+  /// Group flavors only; ignored elsewhere.
+  bool lease_caching = false;
+  /// Sequencer update batching + NVRAM group commit under fire.
+  bool batching = false;
   std::vector<FaultStep> schedule;  // empty => make_schedule(seed)
   sim::Duration workload_tail = sim::sec(3);  // client time after the storm
   /// When nonempty, dump debugging artifacts when the run ends (whatever

@@ -1,5 +1,8 @@
 #include "dir/client.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "net/cluster.h"
 
 namespace amoeba::dir {
@@ -18,6 +21,8 @@ const char* op_name(DirOp op) {
   }
   return "unknown";
 }
+
+std::uint32_t g_lease_salt = 0;  // distinct invalidation port per client
 }  // namespace
 
 Result<Buffer> DirClient::call(Buffer request) {
@@ -40,6 +45,95 @@ Result<Buffer> DirClient::call(Buffer request) {
   return payload;
 }
 
+// ------------------------------------------------------------------ leases
+
+void DirClient::enable_leases() {
+  if (lease_binding_) return;
+  net::Machine& m = rpc_.machine();
+  // Lease ports live in their own prefix (bit 46), clear of service ports
+  // and of rpc reply ports (bit 47).
+  lease_port_ = net::Port{(1ULL << 46) |
+                          (static_cast<std::uint64_t>(m.id().v) << 24) |
+                          ++g_lease_salt};
+  mx_hits_ = &m.metrics().counter("dir", "cache_hits");
+  mx_misses_ = &m.metrics().counter("dir", "cache_misses");
+  mx_invals_ = &m.metrics().counter("dir", "lease_invals");
+  mx_expired_ = &m.metrics().counter("dir", "lease_expirations");
+  lease_binding_.emplace(m, lease_port_,
+                         [this](net::Packet pkt) { on_inval(std::move(pkt)); });
+}
+
+void DirClient::on_inval(net::Packet pkt) {
+  // Kernel-context handler: must not block. A duplicated invalidation is
+  // idempotent (the floor only moves up); an invalidation arriving before
+  // the grant it chases (nemesis reordering) raises the floor so the late
+  // grant is rejected rather than resurrecting the stale entry.
+  auto g = parse_lease_inval(pkt.payload);
+  if (!g) return;
+  auto& floor = inval_floor_[g->obj];
+  floor = std::max(floor, g->seqno);
+  auto it = cache_.find(g->obj);
+  if (it != cache_.end() && it->second.seqno < g->seqno) cache_.erase(it);
+  if (mx_invals_ != nullptr) ++*mx_invals_;
+}
+
+const DirClient::CachedDir* DirClient::cache_hit(const LookupTarget& t) {
+  auto it = cache_.find(t.dir.object);
+  if (it == cache_.end()) return nullptr;
+  CachedDir& e = it->second;
+  if (rpc_.machine().sim().now() >= e.expiry) {
+    // Lease lapsed exactly at (or past) its boundary: the server is free
+    // to mutate without telling us, so the copy is dead.
+    if (mx_expired_ != nullptr) ++*mx_expired_;
+    cache_.erase(it);
+    return nullptr;
+  }
+  if (e.cap != t.dir) return nullptr;  // only the verified capability hits
+  if (!e.rows.contains(t.name)) return nullptr;
+  return &e;
+}
+
+void DirClient::install_grants(
+    const std::vector<LookupTarget>& targets,
+    const std::vector<std::vector<cap::Capability>>& cols,
+    const std::vector<LeaseGrant>& grants, sim::Time fill_invoke) {
+  for (const auto& g : grants) {
+    // Anti-resurrection: a grant below the invalidation floor raced an
+    // already-delivered invalidation and describes dead state.
+    if (auto f = inval_floor_.find(g.obj);
+        f != inval_floor_.end() && g.seqno < f->second) {
+      continue;
+    }
+    const LookupTarget* first = nullptr;
+    for (const auto& t : targets) {
+      if (t.dir.object == g.obj) {
+        first = &t;
+        break;
+      }
+    }
+    if (first == nullptr) continue;  // grant for an object we didn't ask for
+    CachedDir& e = cache_[g.obj];
+    if (e.cap != first->dir || e.seqno != g.seqno) {
+      e.rows.clear();  // different version (or capability): start over
+      e.fill_invoke = fill_invoke;
+    } else {
+      // Same version merged in: rows already cached still reflect g.seqno,
+      // so the entry's (earlier) fill time remains a valid read point.
+      e.fill_invoke = std::min(e.fill_invoke, fill_invoke);
+    }
+    e.cap = first->dir;
+    e.seqno = g.seqno;
+    e.expiry = std::max(e.expiry, g.expiry);  // renewals only extend
+    for (std::size_t i = 0; i < targets.size() && i < cols.size(); ++i) {
+      if (targets[i].dir.object == g.obj && targets[i].dir == e.cap) {
+        e.rows[targets[i].name] = cols[i];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- requests
+
 Result<cap::Capability> DirClient::create_dir(
     const std::vector<std::string>& columns) {
   auto res = call(make_create_dir(columns));
@@ -54,6 +148,7 @@ Result<cap::Capability> DirClient::create_dir(
 }
 
 Status DirClient::delete_dir(const cap::Capability& dir) {
+  forget(dir.object);
   return call(make_delete_dir(dir)).status();
 }
 
@@ -71,22 +166,53 @@ Result<Directory> DirClient::list_dir(const cap::Capability& dir) {
 Status DirClient::append_row(const cap::Capability& dir,
                              const std::string& name,
                              const std::vector<cap::Capability>& cols) {
+  forget(dir.object);
   return call(make_append_row(dir, name, cols)).status();
 }
 
 Status DirClient::chmod_row(const cap::Capability& dir, const std::string& name,
                             std::uint16_t column, cap::Rights mask) {
+  forget(dir.object);
   return call(make_chmod_row(dir, name, column, mask)).status();
 }
 
 Status DirClient::delete_row(const cap::Capability& dir,
                              const std::string& name) {
+  forget(dir.object);
   return call(make_delete_row(dir, name)).status();
 }
 
 Result<std::vector<std::vector<cap::Capability>>> DirClient::lookup_set(
     const std::vector<LookupTarget>& targets) {
-  auto res = call(make_lookup_set(targets));
+  last_from_cache_ = false;
+  if (leases_enabled() && !targets.empty()) {
+    // Serve from cache only when *every* target hits, so the reply shape
+    // (and the all-or-nothing error contract) matches the server's.
+    std::vector<std::vector<cap::Capability>> out;
+    sim::Time earliest_fill = std::numeric_limits<sim::Time>::max();
+    bool all_hit = true;
+    for (const auto& t : targets) {
+      const CachedDir* e = cache_hit(t);
+      if (e == nullptr) {
+        all_hit = false;
+        break;
+      }
+      out.push_back(e->rows.at(t.name));
+      earliest_fill = std::min(earliest_fill, e->fill_invoke);
+    }
+    if (all_hit) {
+      last_from_cache_ = true;
+      last_hit_fill_invoke_ = earliest_fill;
+      ++*mx_hits_;
+      return out;
+    }
+    ++*mx_misses_;
+  }
+
+  Buffer req = make_lookup_set(targets);
+  if (leases_enabled()) append_lease_request(req, lease_port_);
+  const sim::Time fill_invoke = rpc_.machine().sim().now();
+  auto res = call(std::move(req));
   if (!res.is_ok()) return res.status();
   try {
     Reader r(*res);
@@ -101,6 +227,10 @@ Result<std::vector<std::vector<cap::Capability>>> DirClient::lookup_set(
         cols.push_back(cap::Capability::decode(r));
       }
       out.push_back(std::move(cols));
+    }
+    if (leases_enabled()) {
+      const std::vector<LeaseGrant> grants = read_lease_grants(r);
+      if (!grants.empty()) install_grants(targets, out, grants, fill_invoke);
     }
     return out;
   } catch (const DecodeError&) {
@@ -120,6 +250,7 @@ Result<cap::Capability> DirClient::lookup(const cap::Capability& dir,
 }
 
 Status DirClient::replace_set(const std::vector<ReplaceTarget>& targets) {
+  for (const auto& t : targets) forget(t.dir.object);
   return call(make_replace_set(targets)).status();
 }
 

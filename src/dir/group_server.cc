@@ -50,6 +50,18 @@ struct ServerCtx {
 
   GroupDirStats* stats = nullptr;
 
+  /// Lease-holder table: directory object -> (holder lease port -> holder).
+  /// Filled by the initiator when it grants a lease on a lookup reply;
+  /// drained by the group thread when an ordered update touches the object
+  /// (the invalidation piggybacks on ACCEPT/COMMIT processing — no extra
+  /// protocol round). Entries past their expiry are dead weight only: the
+  /// holder already dropped the cached copy by its own clock.
+  struct LeaseHolder {
+    MachineId client;
+    sim::Time expiry = 0;
+  };
+  std::map<std::uint32_t, std::map<std::uint64_t, LeaseHolder>> leases;
+
   /// Cleared when recovery starts; the first successful client reply after
   /// it records the "first_op_served" timeline instant.
   bool served_since_recovery = false;
@@ -61,6 +73,9 @@ struct ServerCtx {
   obs::Counter& mx_applies;
   obs::Counter& mx_refused;
   obs::Counter& mx_flushes;
+  obs::Counter& mx_lease_grants;
+  obs::Counter& mx_lease_invals;
+  obs::Counter& mx_group_commits;
   obs::Hist& mx_read_ms;
   obs::Hist& mx_write_ms;
 
@@ -77,6 +92,9 @@ struct ServerCtx {
         mx_applies(m.metrics().counter("dir.group", "applies")),
         mx_refused(m.metrics().counter("dir.group", "refused_no_majority")),
         mx_flushes(m.metrics().counter("dir.group", "flushes")),
+        mx_lease_grants(m.metrics().counter("dir.group", "lease_grants")),
+        mx_lease_invals(m.metrics().counter("dir.group", "lease_invals")),
+        mx_group_commits(m.metrics().counter("dir.group", "nvram_group_commits")),
         mx_read_ms(m.metrics().histogram("dir.group", "read_ms")),
         mx_write_ms(m.metrics().histogram("dir.group", "write_ms")) {}
 
@@ -219,11 +237,13 @@ void flush_all(ServerCtx& ctx, Storage& st) {
   std::vector<std::uint32_t> objs;
   for (const auto& rec : ctx.nv->records()) {
     ids.push_back(rec.id);
-    nvlog::Record d = nvlog::decode(rec.data);
-    std::uint32_t obj = d.objhint != 0 ? d.objhint : request_target(d.request);
-    if (obj != 0 &&
-        std::find(objs.begin(), objs.end(), obj) == objs.end()) {
-      objs.push_back(obj);
+    for (const nvlog::Record& d : nvlog::decode_any(rec.data)) {
+      std::uint32_t obj =
+          d.objhint != 0 ? d.objhint : request_target(d.request);
+      if (obj != 0 &&
+          std::find(objs.begin(), objs.end(), obj) == objs.end()) {
+        objs.push_back(obj);
+      }
     }
   }
   for (std::uint32_t obj : objs) {
@@ -279,6 +299,31 @@ void nvram_log(ServerCtx& ctx, Storage& st, const Buffer& request,
   (void)ctx.nv->append(
       rec.objhint != 0 ? rec.objhint : request_target(request),
       std::move(encoded), tctx);
+}
+
+/// Group commit: ONE NVRAM append covering every state-changing update of
+/// one ordered batch. The append+delete cancellation is skipped — a batch
+/// record cannot be cancelled piecemeal (nvlog::try_cancel knows to refuse
+/// matches ordered before one).
+void nvram_log_batch(ServerCtx& ctx, Storage& st,
+                     const std::vector<nvlog::Record>& subs,
+                     std::uint64_t seqno, obs::TraceContext tctx = {}) {
+  for (const auto& rec : subs) {
+    auto op = peek_op(rec.request);
+    if (op.is_ok() && *op == DirOp::delete_dir) {
+      ctx.pending_commit_seqno = std::max(ctx.pending_commit_seqno, seqno);
+    }
+  }
+  const std::uint32_t label = subs.front().objhint != 0
+                                  ? subs.front().objhint
+                                  : request_target(subs.front().request);
+  Buffer encoded = nvlog::encode_batch(seqno, subs);
+  while (!ctx.nv->would_fit(encoded.size())) {
+    flush_all(ctx, st);
+  }
+  (void)ctx.nv->append(label, std::move(encoded), tctx);
+  ctx.stats->nvram_group_commits++;
+  ++ctx.mx_group_commits;
 }
 
 // --------------------------------------------------------- boot loading
@@ -398,6 +443,9 @@ group::GroupConfig make_group_cfg(const ServerCtx& ctx) {
   cfg.port = ctx.opts.group_port;
   cfg.universe = ctx.opts.dir_servers;
   cfg.resilience = ctx.opts.resilience;
+  cfg.batching = ctx.opts.batching;
+  cfg.batch_window = ctx.opts.batch_window;
+  cfg.batch_max = ctx.opts.batch_max;
   // If this server ends up *creating* the group (e.g. after a total group
   // collapse), the new lineage must continue the sequence numbering: peers
   // that kept state from the old lineage compare record seqnos against
@@ -677,6 +725,63 @@ void update_config_from_group(ServerCtx& ctx, Storage& st) {
   (void)write_commit_block(ctx, st);
 }
 
+// --------------------------------------------------------- leases
+
+/// Grant a lease per distinct directory a successful lookup touched,
+/// versioned by the directory's current seqno, and remember the holder.
+/// Runs atomically with execute_read (nothing yields in between), so the
+/// grant describes exactly the version the reply carries.
+void grant_leases(ServerCtx& ctx, const rpc::IncomingRequest& req,
+                  Buffer& reply) {
+  if (reply.empty() || static_cast<Errc>(reply[0]) != Errc::ok) return;
+  auto parsed = parse_lookup_set(req.data);
+  if (!parsed.is_ok() || !parsed->lease_port.has_value()) return;
+  const sim::Time expiry = ctx.now() + ctx.opts.lease_duration;
+  std::vector<LeaseGrant> grants;
+  for (const auto& t : parsed->targets) {
+    const std::uint32_t obj = t.dir.object;
+    if (std::any_of(grants.begin(), grants.end(),
+                    [&](const LeaseGrant& g) { return g.obj == obj; })) {
+      continue;
+    }
+    ObjectEntry* e = ctx.state.entry(obj);
+    if (e == nullptr) continue;
+    grants.push_back({obj, e->seqno, expiry});
+    auto& h = ctx.leases[obj][parsed->lease_port->v];
+    h.client = req.client;
+    h.expiry = std::max(h.expiry, expiry);  // renewal extends, never shrinks
+    ctx.stats->lease_grants++;
+    ++ctx.mx_lease_grants;
+  }
+  append_lease_grants(reply, grants);
+}
+
+/// Tell every lease holder of an object the ordered update stream just
+/// changed it. Best-effort unicasts (no acks): a holder the packet never
+/// reaches is bounded by its lease expiry, and the checker's leased-read
+/// weakening (check/history.h) keeps even the lost-inval window sound.
+/// The lease is consumed — holders re-request on their next miss.
+void invalidate_leases(ServerCtx& ctx, const DirState::ApplyEffect& effect,
+                       std::uint64_t seqno, obs::TraceContext tctx) {
+  auto notify = [&](std::uint32_t obj) {
+    auto it = ctx.leases.find(obj);
+    if (it == ctx.leases.end()) return;
+    for (const auto& [portv, h] : it->second) {
+      if (ctx.now() >= h.expiry) continue;  // lapsed by the holder's clock
+      ctx.machine.net().unicast(ctx.machine.id(), h.client, Port{portv},
+                                make_lease_inval(obj, seqno), tctx,
+                                "lease_inval");
+      ctx.stats->lease_invals++;
+      ++ctx.mx_lease_invals;
+    }
+    ctx.leases.erase(it);
+  };
+  for (std::uint32_t obj : effect.touched) notify(obj);
+  for (std::uint32_t obj : effect.deleted) notify(obj);
+}
+
+// --------------------------------------------------------- group thread
+
 void group_thread_loop(ServerCtx& ctx, Storage& st) {
   while (true) {
     if (!ctx.gm || ctx.in_recovery) run_recovery(ctx, st);
@@ -708,7 +813,8 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
     }
 
     group::GroupMsg msg = std::move(*res);
-    if (msg.kind != group::MsgKind::data) {
+    if (msg.kind != group::MsgKind::data &&
+        msg.kind != group::MsgKind::batch) {
       // Membership change: record the new configuration vector.
       ctx.machine.trace().instant(ctx.now(), "dir.group", "view_change",
                                   ctx.machine.id().v, msg.seqno);
@@ -730,21 +836,52 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
       ctx.sim().sleep_for(sim::msec(150));
     }
 
-    std::uint64_t opid = 0;
-    std::uint64_t secret = 0;
-    Buffer request;
+    // Decode into one or more (opid, secret, request) updates: a plain
+    // data message carries one; a batch message (sequencer coalescing)
+    // carries several, each tagged with its origin member so only the
+    // initiating server completes it.
+    struct Sub {
+      std::uint64_t opid = 0;
+      std::uint64_t secret = 0;
+      Buffer request;
+      Buffer reply;
+      bool mine = false;
+    };
+    std::vector<Sub> subs;
     try {
       Reader r(msg.payload);
-      opid = r.u64();
-      secret = r.u64();
-      request = r.bytes();
+      if (msg.kind == group::MsgKind::batch) {
+        const std::uint32_t n = r.u32();
+        subs.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const net::MachineId origin{r.u16()};
+          (void)r.u64();  // group-level msgid; identity here is the opid
+          Buffer body = r.bytes();
+          Reader br(body);
+          Sub s;
+          s.opid = br.u64();
+          s.secret = br.u64();
+          s.request = br.bytes();
+          s.mine = origin == ctx.machine.id();
+          subs.push_back(std::move(s));
+        }
+      } else {
+        Sub s;
+        s.opid = r.u64();
+        s.secret = r.u64();
+        s.request = r.bytes();
+        s.mine = msg.sender == ctx.machine.id();
+        subs.push_back(std::move(s));
+      }
     } catch (const DecodeError&) {
       ctx.applied_seqno = msg.seqno;
       continue;
     }
 
     // The apply span parents under the hop that delivered the message, so
-    // every member's execution joins the initiator's tree.
+    // every member's execution joins the initiator's tree. One dispatch
+    // charge per delivered message: the modelled apply cost is dominated by
+    // message handling, which a batch amortises across its updates.
     obs::Trace& tr = ctx.machine.trace();
     const sim::Time apply_t0 = ctx.now();
     const std::uint64_t apply_sp = msg.ctx.active() ? tr.new_span_id() : 0;
@@ -753,43 +890,86 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
     // Any applied update counts as activity for the NVRAM idle-flush
     // heuristic, even when another server was the initiator.
     ctx.last_client_op = ctx.now();
-    // For directory deletion, remember the on-disk file before apply()
-    // drops the entry, so it can be garbage collected after commit.
-    cap::Capability deleted_file = cap::kNullCap;
-    if (auto op = peek_op(request);
-        op.is_ok() && *op == DirOp::delete_dir) {
-      if (ObjectEntry* e = ctx.state.entry(request_target(request))) {
-        deleted_file = e->bullet;
+
+    // Apply every update in batch order, then persist once: objects touched
+    // several times in one batch hit the disk (or the NVRAM log) once.
+    std::vector<std::uint32_t> touched_union;
+    std::vector<std::pair<std::uint32_t, cap::Capability>> deleted_union;
+    std::vector<nvlog::Record> changed;  // NVRAM group-commit input
+    DirState::ApplyEffect single_effect;  // of the lone changed sub, if any
+    for (Sub& sub : subs) {
+      // For directory deletion, remember the on-disk file before apply()
+      // drops the entry, so it can be garbage collected after commit.
+      cap::Capability deleted_file = cap::kNullCap;
+      if (auto op = peek_op(sub.request);
+          op.is_ok() && *op == DirOp::delete_dir) {
+        if (ObjectEntry* e = ctx.state.entry(request_target(sub.request))) {
+          deleted_file = e->bullet;
+        }
+      }
+      DirState::ApplyEffect effect;
+      sub.reply = ctx.state.apply(sub.request, sub.secret, msg.seqno, &effect);
+      if (log::level() <= log::Level::debug) {
+        auto dbg_op = peek_op(sub.request);
+        LOG_DEBUG << ctx.machine.name() << " APPLY seqno=" << msg.seqno
+                  << " op="
+                  << (dbg_op.is_ok() ? static_cast<int>(*dbg_op) : -1)
+                  << " obj=" << request_target(sub.request)
+                  << " touched="
+                  << (effect.touched.empty() ? 0 : effect.touched.front())
+                  << " deleted="
+                  << (effect.deleted.empty() ? 0 : effect.deleted.front())
+                  << " sender=" << msg.sender.v << " mine=" << sub.mine;
+      }
+      ctx.my_seqno = std::max(ctx.my_seqno, msg.seqno);
+      // Invalidate before persistence (which yields): holders should learn
+      // of the change as soon as the ordered stream delivers it here.
+      if (ctx.opts.lease_caching && effect.any_change) {
+        invalidate_leases(ctx, effect, msg.seqno, actx);
+      }
+      if (!effect.any_change) continue;
+      for (std::uint32_t obj : effect.touched) {
+        if (std::find(touched_union.begin(), touched_union.end(), obj) ==
+            touched_union.end()) {
+          touched_union.push_back(obj);
+        }
+      }
+      for (std::uint32_t obj : effect.deleted) {
+        deleted_union.emplace_back(obj, deleted_file);
+      }
+      if (ctx.nv != nullptr) {
+        nvlog::Record rec;
+        rec.seqno = msg.seqno;
+        rec.secret = sub.secret;
+        rec.request = sub.request;
+        if (auto op = peek_op(sub.request); op.is_ok() &&
+            *op == DirOp::create_dir && !effect.touched.empty()) {
+          rec.objhint = effect.touched.front();
+        }
+        changed.push_back(std::move(rec));
+        single_effect = effect;
       }
     }
-    DirState::ApplyEffect effect;
-    Buffer reply = ctx.state.apply(request, secret, msg.seqno, &effect);
-    if (log::level() <= log::Level::debug) {
-      auto dbg_op = peek_op(request);
-      LOG_DEBUG << ctx.machine.name() << " APPLY seqno=" << msg.seqno
-                << " op=" << (dbg_op.is_ok() ? static_cast<int>(*dbg_op) : -1)
-                << " obj=" << request_target(request)
-                << " touched="
-                << (effect.touched.empty() ? 0 : effect.touched.front())
-                << " deleted="
-                << (effect.deleted.empty() ? 0 : effect.deleted.front())
-                << " sender=" << msg.sender.v
-                << " mine=" << (msg.sender == ctx.machine.id());
-    }
-    ctx.my_seqno = std::max(ctx.my_seqno, msg.seqno);
 
     std::vector<cap::Capability> old_files;
-    if (effect.any_change) {
-      if (ctx.nv != nullptr) {
-        nvram_log(ctx, st, request, secret, msg.seqno, effect, actx);
-      } else {
-        for (std::uint32_t obj : effect.touched) {
-          auto old = persist_object(ctx, st, obj, actx);
-          if (old.is_ok() && !old->is_null()) old_files.push_back(*old);
-        }
-        for (std::uint32_t obj : effect.deleted) {
-          (void)persist_delete(ctx, st, obj, msg.seqno, deleted_file, actx);
-        }
+    if (ctx.nv != nullptr) {
+      if (changed.size() == 1) {
+        // Lone changed update: the plain path keeps the append+delete
+        // cancellation optimisation.
+        nvram_log(ctx, st, changed.front().request, changed.front().secret,
+                  msg.seqno, single_effect, actx);
+      } else if (changed.size() >= 2) {
+        nvram_log_batch(ctx, st, changed, msg.seqno, actx);
+      }
+    } else {
+      for (std::uint32_t obj : touched_union) {
+        // Skip objects a later update of the same batch deleted again.
+        if (ctx.state.entry(obj) == nullptr) continue;
+        auto old = persist_object(ctx, st, obj, actx);
+        if (old.is_ok() && !old->is_null()) old_files.push_back(*old);
+      }
+      for (const auto& [obj, file] : deleted_union) {
+        (void)persist_delete(ctx, st, obj, msg.seqno, file, actx);
       }
     }
     if (apply_sp != 0) {
@@ -798,14 +978,17 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
                   msg.ctx.span);
     }
 
-    // Commit: wake the initiator, then clean up old bullet files (Fig. 5).
+    // Commit: wake the initiators, then clean up old bullet files (Fig. 5).
     ctx.applied_seqno = msg.seqno;
     ctx.stats->applied_seqno = msg.seqno;
-    ++ctx.mx_applies;
-    if (msg.sender == ctx.machine.id()) {
-      ctx.completions[opid] = std::move(reply);
-      ctx.completion_wq.notify_all();
+    ctx.mx_applies += subs.size();
+    bool completed = false;
+    for (Sub& sub : subs) {
+      if (!sub.mine) continue;
+      ctx.completions[sub.opid] = std::move(sub.reply);
+      completed = true;
     }
+    if (completed) ctx.completion_wq.notify_all();
     ctx.applied_wq.notify_all();
     for (const auto& old : old_files) (void)st.bullet.del(old);
   }
@@ -869,6 +1052,9 @@ void initiator_loop(ServerCtx& ctx, rpc::RpcServer& server) {
         }
       }
       Buffer reply = ctx.state.execute_read(req.data);
+      if (ctx.opts.lease_caching && *op_res == DirOp::lookup_set) {
+        grant_leases(ctx, req, reply);
+      }
       ctx.stats->reads++;
       ++ctx.mx_reads;
       ctx.mx_read_ms.push_back(sim::to_ms(ctx.now() - op_t0));

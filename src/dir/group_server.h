@@ -40,6 +40,22 @@ struct GroupDirOptions {
   bool use_nvram = false;
   bool improved_recovery = false;  // Sec. 3.2's relaxed 2-server rule
 
+  /// Lease caching (Gray & Cheriton): grant time-bounded read leases on
+  /// lookup replies so lease-aware clients serve repeats locally. The
+  /// granting replica invalidates holders from its ordered apply path; a
+  /// partitioned client's lease simply lapses after lease_duration of
+  /// simulated time, bounding staleness without any revocation round-trip.
+  bool lease_caching = false;
+  sim::Duration lease_duration = sim::msec(500);
+
+  /// Sequencer update batching (group layer) + NVRAM group commit: updates
+  /// coalesced into one ordered ACCEPT are applied as one delivery and
+  /// logged as ONE NVRAM append, so the per-update log-write cost is
+  /// amortised across the batch.
+  bool batching = false;
+  sim::Duration batch_window = sim::msec(2);
+  std::size_t batch_max = 8;
+
   /// Debug fault injection (simfuzz only): serve reads WITHOUT the
   /// buffered-messages barrier, so this server can return state that
   /// predates updates already acknowledged elsewhere. Exists to prove the
@@ -88,6 +104,9 @@ struct GroupDirStats {
   std::uint64_t group_resets = 0;    // successful in-place group rebuilds
   std::uint64_t nvram_cancellations = 0;
   std::uint64_t flushes = 0;
+  std::uint64_t lease_grants = 0;
+  std::uint64_t lease_invals = 0;
+  std::uint64_t nvram_group_commits = 0;  // batch records appended to the log
   bool in_recovery = true;
   std::uint64_t applied_seqno = 0;
 };

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/buffer.h"
 #include "dir/proto.h"
@@ -27,6 +28,20 @@ struct Record {
 
 Buffer encode(const Record& rec);
 Record decode(const Buffer& b);
+
+/// Group commit (sequencer batching): every update of one ordered batch is
+/// logged as a single NVRAM append — one log write per ACCEPT, not per op.
+/// A batch record is distinguished from a plain one by the top bit of the
+/// leading seqno field; decode() refuses it, decode_any() handles both.
+inline constexpr std::uint64_t kBatchFlag = 1ULL << 63;
+
+/// Encode one record covering all of `subs` (their `seqno` fields are
+/// ignored — the whole batch carries `seqno`).
+Buffer encode_batch(std::uint64_t seqno, const std::vector<Record>& subs);
+[[nodiscard]] bool is_batch(const Buffer& b);
+/// Decode either format: a plain record yields one entry, a batch record
+/// one entry per sub (each stamped with the batch seqno).
+std::vector<Record> decode_any(const Buffer& b);
 
 /// Object number a request targets (0 for create_dir, which allocates).
 std::uint32_t request_target(const Buffer& request);

@@ -96,6 +96,93 @@ Buffer make_replace_set(const std::vector<ReplaceTarget>& targets) {
   return w.take();
 }
 
+// ------------------------------------------------------------------ leases
+
+void append_lease_request(Buffer& request, net::Port lease_port) {
+  Writer w;
+  w.u8(kLeaseRequestTag);
+  w.u64(lease_port.v);
+  const Buffer tail = w.take();
+  request.insert(request.end(), tail.begin(), tail.end());
+}
+
+Result<LookupSetRequest> parse_lookup_set(const Buffer& request) {
+  try {
+    Reader r(request);
+    if (static_cast<DirOp>(r.u8()) != DirOp::lookup_set) {
+      return Status::error(Errc::bad_request, "not a lookup_set");
+    }
+    LookupSetRequest out;
+    const std::uint16_t n = r.u16();
+    for (std::uint16_t i = 0; i < n; ++i) {
+      LookupTarget t;
+      t.dir = cap::Capability::decode(r);
+      t.name = r.str();
+      out.targets.push_back(std::move(t));
+    }
+    if (r.remaining() >= 9 && r.u8() == kLeaseRequestTag) {
+      out.lease_port = net::Port{r.u64()};
+    }
+    return out;
+  } catch (const DecodeError&) {
+    return Status::error(Errc::bad_request, "malformed lookup_set");
+  }
+}
+
+void append_lease_grants(Buffer& reply,
+                         const std::vector<LeaseGrant>& grants) {
+  if (grants.empty()) return;
+  Writer w;
+  w.u8(kLeaseGrantTag);
+  w.u16(static_cast<std::uint16_t>(grants.size()));
+  for (const auto& g : grants) {
+    w.u32(g.obj);
+    w.u64(g.seqno);
+    w.i64(g.expiry);
+  }
+  const Buffer tail = w.take();
+  reply.insert(reply.end(), tail.begin(), tail.end());
+}
+
+std::vector<LeaseGrant> read_lease_grants(Reader& r) {
+  std::vector<LeaseGrant> grants;
+  try {
+    if (r.remaining() < 3 || r.u8() != kLeaseGrantTag) return grants;
+    const std::uint16_t n = r.u16();
+    for (std::uint16_t i = 0; i < n; ++i) {
+      LeaseGrant g;
+      g.obj = r.u32();
+      g.seqno = r.u64();
+      g.expiry = r.i64();
+      grants.push_back(g);
+    }
+  } catch (const DecodeError&) {
+    grants.clear();  // torn tail: behave as if no grants were attached
+  }
+  return grants;
+}
+
+Buffer make_lease_inval(std::uint32_t obj, std::uint64_t seqno) {
+  Writer w;
+  w.u8(kLeaseInvalTag);
+  w.u32(obj);
+  w.u64(seqno);
+  return w.take();
+}
+
+std::optional<LeaseGrant> parse_lease_inval(const Buffer& b) {
+  try {
+    Reader r(b);
+    if (r.u8() != kLeaseInvalTag) return std::nullopt;
+    LeaseGrant g;
+    g.obj = r.u32();
+    g.seqno = r.u64();
+    return g;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
 Buffer reply_error(Errc code) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(code));

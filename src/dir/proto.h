@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "common/status.h"
 #include "dir/types.h"
 #include "net/packet.h"
+#include "sim/time.h"
 
 namespace amoeba::dir {
 
@@ -63,6 +65,52 @@ struct ReplaceTarget {
   cap::Capability replacement;  // replaces column 0
 };
 Buffer make_replace_set(const std::vector<ReplaceTarget>& targets);
+
+// --- lease extension --------------------------------------------------------
+// Gray & Cheriton leases for the lookup fast path. The extension rides as
+// *trailing tagged blocks* on the existing lookup_set request/reply frames:
+// every decoder in this protocol reads a fixed prefix and ignores trailing
+// bytes (only Reader::expect_done enforces exhaustion, and no dir decoder
+// calls it), so lease-aware clients interoperate with pre-lease servers and
+// vice versa — the blocks are simply never seen.
+
+/// Trailing-block tags (values outside the DirOp/Errc ranges).
+inline constexpr std::uint8_t kLeaseRequestTag = 0xA7;  // on lookup_set req
+inline constexpr std::uint8_t kLeaseGrantTag = 0xA8;    // on lookup_set reply
+inline constexpr std::uint8_t kLeaseInvalTag = 0xA9;    // standalone packet
+
+/// One granted (or invalidated) lease: the directory object, the group
+/// sequence number its cached contents reflect, and the absolute simulated
+/// time at which the lease lapses (unused in invalidations).
+struct LeaseGrant {
+  std::uint32_t obj = 0;
+  std::uint64_t seqno = 0;
+  sim::Time expiry = 0;
+};
+
+/// Append a lease request (the client's invalidation port) to an encoded
+/// lookup_set request.
+void append_lease_request(Buffer& request, net::Port lease_port);
+
+/// Decode a lookup_set request's fixed prefix into its targets; when the
+/// request carries a trailing lease-request block, also yields the client's
+/// invalidation port. Errc::bad_request on malformed input.
+struct LookupSetRequest {
+  std::vector<LookupTarget> targets;
+  std::optional<net::Port> lease_port;
+};
+Result<LookupSetRequest> parse_lookup_set(const Buffer& request);
+
+/// Append granted leases to an encoded lookup_set reply.
+void append_lease_grants(Buffer& reply, const std::vector<LeaseGrant>& grants);
+
+/// Read a trailing grant block. `r` must stand just past the reply's fixed
+/// structure; returns empty when no block follows (pre-lease server).
+std::vector<LeaseGrant> read_lease_grants(Reader& r);
+
+/// Standalone invalidation packet, unicast to a lease holder's port.
+Buffer make_lease_inval(std::uint32_t obj, std::uint64_t seqno);
+std::optional<LeaseGrant> parse_lease_inval(const Buffer& b);
 
 // --- reply builders / parsers ----------------------------------------------
 Buffer reply_error(Errc code);

@@ -111,11 +111,25 @@ struct GroupMember::Ctx {
     std::set<std::uint16_t> acked;
     int needed = 0;
     obs::TraceContext ctx;  // parents the COMMIT's wire span
+    /// Batch records: every coalesced (origin, msgid) that must hear about
+    /// the commit — one COMMIT unicast (or local completion) per sub.
+    std::vector<std::pair<MachineId, std::uint64_t>> batch_origins;
   };
   std::map<std::uint64_t, PendingCommit> commits;  // seqno ->
   std::map<std::pair<std::uint16_t, std::uint64_t>, std::uint64_t> req_dedup;
   std::map<std::uint16_t, sim::Time> member_alive;
   sim::Time last_heartbeat_seen = 0;
+
+  // Sequencer batching (cfg.batching): REQs parked until the coalescing
+  // window closes or the batch fills, then sequenced under one seqno.
+  struct PendingSub {
+    MachineId origin;
+    std::uint64_t msgid = 0;
+    Buffer payload;
+    obs::TraceContext ctx;
+  };
+  std::vector<PendingSub> pending_batch;
+  sim::Time batch_deadline = 0;  // 0 = nothing parked
 
   // Reset protocol.
   std::uint32_t max_attempt_seen = 0;
@@ -155,6 +169,7 @@ struct GroupMember::Ctx {
   std::uint64_t* mx_failures;
   std::uint64_t* mx_resets;
   obs::Hist* mx_send_ms;
+  obs::Hist* mx_batch_size;
 
   Ctx(net::Machine& m, GroupConfig c)
       : machine(m),
@@ -174,7 +189,8 @@ struct GroupMember::Ctx {
         mx_views(&mx->counter("group", "views_installed")),
         mx_failures(&mx->counter("group", "failures")),
         mx_resets(&mx->counter("group", "resets")),
-        mx_send_ms(&mx->histogram("group", "send_ms")) {}
+        mx_send_ms(&mx->histogram("group", "send_ms")),
+        mx_batch_size(&mx->histogram("group", "batch_size")) {}
 
   sim::Simulator& sim() { return machine.sim(); }
   sim::Time now() { return machine.sim().now(); }
@@ -214,6 +230,10 @@ struct GroupMember::Ctx {
                            std::uint64_t msgid, Buffer payload,
                            bool announce_bb = false,
                            obs::TraceContext ctx = {});
+  void enqueue_batch(MachineId origin, std::uint64_t msgid, Buffer payload,
+                     obs::TraceContext ctx);
+  void flush_batch();
+  std::uint64_t seq_assign_batch(std::vector<PendingSub> subs);
   void stash_bb(MachineId origin, std::uint64_t msgid, Buffer payload);
   /// Common tail of accept/bb_order handling: buffer + ack.
   void take_accept(const AcceptRecord& rec, MachineId from);
@@ -253,6 +273,8 @@ void GroupMember::Ctx::go_failed(const std::string& why) {
     multicast_pkt(members, w.take(), false);
   }
   commits.clear();
+  pending_batch.clear();  // parked subs are dropped; senders retry
+  batch_deadline = 0;
   wake_all();
 }
 
@@ -324,6 +346,42 @@ void GroupMember::Ctx::process_in_order(const AcceptRecord& rec) {
       // Synthetic view notes are enqueued directly on NEWGROUP install;
       // they never travel as sequenced records.
       return;
+    case MsgKind::batch: {
+      // Unpack the coalesced subs; drop any already delivered solo (a
+      // pre-failover sequencer may have sequenced a sub on its own before a
+      // retry landed in a successor's batch) and mark the survivors
+      // delivered. Survivors go to the application as ONE message, in
+      // batch order, re-encoded in the same sub format.
+      Reader br(rec.payload);
+      const std::uint32_t n = br.u32();
+      std::vector<std::tuple<std::uint16_t, std::uint64_t, Buffer>> kept;
+      kept.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint16_t ov = br.u16();
+        const std::uint64_t mid = br.u64();
+        Buffer sub = br.bytes();
+        if (delivered_ids.contains({ov, mid})) continue;
+        note_dedup(MachineId{ov}, mid);
+        kept.emplace_back(ov, mid, std::move(sub));
+      }
+      if (kept.empty()) return;  // all dups; history entry kept for retrans
+      Writer w;
+      w.u32(static_cast<std::uint32_t>(kept.size()));
+      for (auto& [ov, mid, sub] : kept) {
+        w.u16(ov);
+        w.u64(mid);
+        w.bytes(sub);
+      }
+      GroupMsg msg;
+      msg.seqno = rec.seqno;
+      msg.kind = MsgKind::batch;
+      msg.sender = rec.origin;
+      msg.payload = w.take();
+      msg.ctx = rec.ctx;
+      ready.push_back(std::move(msg));
+      recv_wq.notify_all();
+      return;
+    }
   }
   GroupMsg msg;
   msg.seqno = rec.seqno;
@@ -417,6 +475,91 @@ std::uint64_t GroupMember::Ctx::seq_assign(MsgKind kind, MachineId origin,
   return rec.seqno;
 }
 
+void GroupMember::Ctx::enqueue_batch(MachineId origin, std::uint64_t msgid,
+                                     Buffer payload, obs::TraceContext ctx) {
+  for (const auto& s : pending_batch) {
+    if (s.origin == origin && s.msgid == msgid) return;  // retry while parked
+  }
+  pending_batch.push_back({origin, msgid, std::move(payload), ctx});
+  if (pending_batch.size() >= cfg.batch_max) {
+    flush_batch();
+    return;
+  }
+  if (batch_deadline == 0) {
+    batch_deadline = now() + cfg.batch_window;
+    // The kernel may be asleep until its next heartbeat tick (a
+    // sequencer-local send parks subs from an application process); poke
+    // its mailbox so it re-arms its wakeup to the batch deadline.
+    endpoint->mailbox().send(net::Packet{});
+  }
+}
+
+void GroupMember::Ctx::flush_batch() {
+  batch_deadline = 0;
+  if (pending_batch.empty()) return;
+  std::vector<PendingSub> subs = std::move(pending_batch);
+  pending_batch.clear();
+  if (state != MemberState::normal || !i_am_sequencer()) {
+    // The view changed under the parked ops: drop them. Senders retry
+    // against the new sequencer; the req/delivery dedup layers absorb any
+    // copy that did get sequenced.
+    return;
+  }
+  mx_batch_size->push_back(static_cast<double>(subs.size()));
+  if (subs.size() == 1) {
+    // A lone op takes the plain path: wire format identical to batching
+    // off, so mixed-version members interoperate.
+    PendingSub s = std::move(subs.front());
+    if (!req_dedup.contains({s.origin.v, s.msgid})) {
+      seq_assign(MsgKind::data, s.origin, s.msgid, std::move(s.payload),
+                 /*announce_bb=*/false, s.ctx);
+    }
+    return;
+  }
+  stats.batches++;
+  stats.batched_msgs += subs.size();
+  seq_assign_batch(std::move(subs));
+}
+
+std::uint64_t GroupMember::Ctx::seq_assign_batch(std::vector<PendingSub> subs) {
+  AcceptRecord rec;
+  rec.seqno = next_seqno++;
+  rec.kind = MsgKind::batch;
+  rec.origin = me;       // the batch as a record is sequencer-authored;
+  rec.origin_msgid = 0;  // per-sub identity rides inside the payload
+  rec.ctx = subs.front().ctx;
+  Writer pw;
+  pw.u32(static_cast<std::uint32_t>(subs.size()));
+  for (const auto& s : subs) {
+    pw.u16(s.origin.v);
+    pw.u64(s.msgid);
+    pw.bytes(s.payload);
+  }
+  rec.payload = pw.take();
+
+  PendingCommit pc;
+  pc.origin = me;
+  pc.origin_msgid = 0;
+  pc.needed = needed_acks();
+  pc.ctx = rec.ctx;
+  for (const auto& s : subs) {
+    req_dedup[{s.origin.v, s.msgid}] = rec.seqno;
+    pc.batch_origins.emplace_back(s.origin, s.msgid);
+  }
+  commits[rec.seqno] = std::move(pc);
+
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(WireType::accept));
+  w.u64(gid);
+  w.u32(incarnation);
+  encode_accept_body(w, rec);
+  multicast_pkt(members, w.take(), true, rec.ctx, "accept");
+
+  buffer_accept(rec, me);
+  seq_maybe_commit(rec.seqno);
+  return rec.seqno;
+}
+
 void GroupMember::Ctx::take_accept(const AcceptRecord& rec, MachineId from) {
   last_heartbeat_seen = now();
   buffer_accept(rec, from);
@@ -446,6 +589,19 @@ void GroupMember::Ctx::seq_maybe_commit(std::uint64_t seqno) {
     w.u32(incarnation);
     w.u64(pc.origin_msgid);
     send_pkt(pc.origin, w.take(), true, pc.ctx, "commit");
+  }
+  // Batch records: fan the commit out to every coalesced origin.
+  for (const auto& [origin, msgid] : pc.batch_origins) {
+    if (origin == me) {
+      complete_send(msgid, Status::ok());
+    } else {
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(WireType::commit));
+      w.u64(gid);
+      w.u32(incarnation);
+      w.u64(msgid);
+      send_pkt(origin, w.take(), true, pc.ctx, "commit");
+    }
   }
   commits.erase(it);
 }
@@ -572,6 +728,10 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
           w.u64(msgid);
           send_pkt(origin, w.take(), true, pkt.ctx, "commit");
         }
+        return;
+      }
+      if (cfg.batching) {
+        enqueue_batch(origin, msgid, std::move(payload), pkt.ctx);
         return;
       }
       seq_assign(MsgKind::data, origin, msgid, std::move(payload),
@@ -761,6 +921,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       const std::uint64_t nonce = r.u64();
       if (state != MemberState::normal || !i_am_sequencer()) return;
       if (is_member(joiner) && member_nonce[joiner.v] == nonce) return;
+      flush_batch();  // parked data precedes the membership change
       const std::uint64_t s = seq_assign(MsgKind::join, joiner, nonce, {});
       // The multicast above went to the pre-join member list; hand the
       // record to the joiner directly so it does not start with a gap.
@@ -783,6 +944,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       const MachineId leaver = MachineId{r.u16()};
       if (state != MemberState::normal || !i_am_sequencer()) return;
       if (inc != incarnation || !is_member(leaver)) return;
+      flush_batch();  // parked data precedes the membership change
       seq_assign(MsgKind::leave, leaver, 0, {});
       return;
     }
@@ -859,6 +1021,8 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       members = std::move(mem);
       sequencer = seq;
       commits.clear();
+      pending_batch.clear();
+      batch_deadline = 0;
       votes.clear();
       my_attempt = 0;
       if (seq_next > 0) known_latest = std::max(known_latest, seq_next - 1);
@@ -912,7 +1076,9 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
 void GroupMember::Ctx::kernel_main() {
   sim::Time next_tick = now() + cfg.heartbeat;
   while (!stopping) {
-    auto pkt = endpoint->mailbox().recv_until(next_tick);
+    sim::Time wake = next_tick;
+    if (batch_deadline != 0) wake = std::min(wake, batch_deadline);
+    auto pkt = endpoint->mailbox().recv_until(wake);
     if (stopping) break;
     if (pkt && !pkt->payload.empty()) {
       if (cfg.kernel_cpu > 0) machine.cpu().use(cfg.kernel_cpu);
@@ -922,6 +1088,7 @@ void GroupMember::Ctx::kernel_main() {
         LOG_WARN << machine.name() << " group: bad packet: " << e.what();
       }
     }
+    if (batch_deadline != 0 && now() >= batch_deadline) flush_batch();
     if (now() >= next_tick) {
       do_tick();
       next_tick = now() + cfg.heartbeat;
@@ -1076,8 +1243,12 @@ Status GroupMember::send_to_group(Buffer payload, obs::TraceContext ctx) {
       // Sequencer-origin sends use the PB shape under either method: one
       // full multicast is already optimal.
       if (!c.req_dedup.contains({c.me.v, msgid})) {
-        c.seq_assign(MsgKind::data, c.me, msgid, payload,
-                     /*announce_bb=*/false, sctx);
+        if (c.cfg.batching) {
+          c.enqueue_batch(c.me, msgid, payload, sctx);
+        } else {
+          c.seq_assign(MsgKind::data, c.me, msgid, payload,
+                       /*announce_bb=*/false, sctx);
+        }
       } else if (auto it = c.req_dedup.find({c.me.v, msgid});
                  !c.commits.contains(it->second)) {
         c.complete_send(msgid, Status::ok());
@@ -1256,6 +1427,8 @@ Status GroupMember::coordinate_reset(sim::Time deadline) {
   c.sequencer = c.me;
   c.next_seqno = c.watermark() + 1;
   c.commits.clear();
+  c.pending_batch.clear();
+  c.batch_deadline = 0;
   c.my_attempt = 0;
   c.votes.clear();
   c.install_member_alive();
@@ -1287,6 +1460,7 @@ Status GroupMember::leave(sim::Duration timeout) {
     return Status::ok();
   }
   if (c.i_am_sequencer()) {
+    c.flush_batch();
     c.seq_assign(MsgKind::leave, c.me, 0, {});
   } else {
     Writer w;

@@ -46,6 +46,9 @@ enum class MsgKind : std::uint8_t {
   leave,  // sequenced departures
   view,   // synthetic: a ResetGroup installed a new view (seqno 0);
           // lets the application record the new configuration
+  batch,  // several coalesced data sends under one seqno (cfg.batching);
+          // payload = u32 n, then per sub: u16 origin, u64 msgid,
+          // bytes payload. Only delivered when the application opted in.
 };
 
 /// A message delivered by ReceiveFromGroup, in total order.
@@ -87,6 +90,16 @@ struct GroupConfig {
   sim::Duration send_retry = sim::msec(80);
   int send_retries = 4;
   std::size_t history_limit = 8192;
+  /// Sequencer update batching: REQs that arrive while earlier ones are
+  /// still inside the coalescing window ride the same ACCEPT multicast
+  /// (one seqno, one kernel CPU charge, and — for the directory service —
+  /// one group-commit NVRAM append). batch_window bounds the extra latency
+  /// a lone update pays; batch_max flushes a full batch immediately.
+  /// Messages keep their per-origin identity (origin, msgid) inside the
+  /// batch so commit fan-out and duplicate suppression are unchanged.
+  bool batching = false;
+  sim::Duration batch_window = sim::msec(2);
+  std::size_t batch_max = 8;
   /// First sequence number a freshly *created* group assigns, minus one.
   /// An application that survives a total group collapse passes its own
   /// recovery sequence number here so the replacement group continues the
@@ -120,6 +133,8 @@ struct GroupStats {
   std::uint64_t control_packets = 0; // heartbeats, reset protocol, ...
   std::uint64_t resets = 0;
   std::uint64_t retransmissions = 0;
+  std::uint64_t batches = 0;          // multi-message ACCEPTs sent (sequencer)
+  std::uint64_t batched_msgs = 0;     // messages that rode those ACCEPTs
 };
 
 /// One member's kernel + API handle. Create on the machine that should be

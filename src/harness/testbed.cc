@@ -118,6 +118,11 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
         go.use_nvram = (opts.flavor == Flavor::group_nvram);
         go.nvram_bytes = opts.nvram_bytes;
         go.improved_recovery = opts.improved_recovery;
+        go.lease_caching = opts.lease_caching;
+        go.lease_duration = opts.lease_duration;
+        go.batching = opts.batching;
+        go.batch_window = opts.batch_window;
+        go.batch_max = opts.batch_max;
         go.debug_skip_read_barrier = (i == opts.debug_stale_reads_server);
         if (opts.group_history_limit > 0) {
           go.group_base.history_limit = opts.group_history_limit;

@@ -45,6 +45,16 @@ struct TestbedOptions {
   /// When > 0, overrides GroupConfig::history_limit for the group flavors
   /// (tests use a tiny limit to force history pruning during recovery).
   std::size_t group_history_limit = 0;
+  /// Lease-based client caching (group flavors): servers grant read leases
+  /// on lookups; lease-aware clients (DirClient::enable_leases) answer
+  /// repeats locally. See GroupDirOptions::lease_caching.
+  bool lease_caching = false;
+  sim::Duration lease_duration = sim::msec(500);
+  /// Sequencer update batching + NVRAM group commit (group flavors). See
+  /// GroupDirOptions::batching.
+  bool batching = false;
+  sim::Duration batch_window = sim::msec(2);
+  std::size_t batch_max = 8;
   /// Record a per-event trace ring (Cluster::set_tracing). Defaults on so
   /// existing tests/tools see identical traces; throughput benchmarks turn
   /// it off to measure the engine without trace recording.

@@ -199,6 +199,28 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
   const sim::Time deadline = sim.now() + opts.timeout;
   const sim::Time t0 = sim.now();
   int failovers = 0;
+  // Capped exponential backoff with seeded jitter between retry rounds
+  // where no reachable server is known. Returns false once the overall
+  // deadline leaves no room to sleep (callers then report the last error).
+  int retry_round = 0;
+  auto backoff_retry = [&]() -> bool {
+    if (sim.now() >= deadline) return false;
+    if (opts.backoff_base <= 0) return true;  // legacy fixed-interval mode
+    sim::Duration wait = opts.backoff_base;
+    for (int i = 0; i < retry_round && wait < opts.backoff_cap; ++i) {
+      wait *= 2;
+    }
+    wait = std::min(wait, std::max(opts.backoff_base, opts.backoff_cap));
+    // Jitter in [wait/2, wait): derived from the simulation seed, so a
+    // same-seed run retries at identical times while distinct clients
+    // still spread out instead of locating in lockstep.
+    wait = wait / 2 +
+           static_cast<sim::Duration>(
+               sim.rng().below(static_cast<std::uint64_t>(wait / 2) + 1));
+    ++retry_round;
+    sim.sleep_until(std::min(deadline, sim.now() + wait));
+    return sim.now() < deadline;
+  };
   // The transaction span: request/reply wire spans and the server's
   // handling hang under it (via the request packet's header context).
   obs::Trace& tr = machine_.trace();
@@ -206,12 +228,18 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
   const obs::TraceContext tctx{ctx.trace, sp};
 
   while (true) {
-    // 1. Make sure we have a server candidate.
-    if (cache_[port].servers.empty()) {
+    // 1. Make sure we have a server candidate. A failed locate no longer
+    // gives up: the service may be partitioned away and about to heal, so
+    // retry with growing, jittered pauses until the overall deadline.
+    while (cache_[port].servers.empty()) {
       sim::Time locate_deadline =
           std::min(deadline, sim.now() + opts.locate_timeout);
       Status st = locate(port, locate_deadline);
-      if (!st.is_ok()) return st;
+      if (st.is_ok()) {
+        retry_round = 0;  // reachable again: restart the backoff ladder
+        break;
+      }
+      if (!backoff_retry()) return st;
     }
     MachineId server = cache_[port].servers.front();
 
@@ -253,6 +281,11 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
           drop_server(port, server);
           ++mx_failovers_;
           if (++failovers > opts.max_failovers) {
+            return Status::error(Errc::refused, "all servers busy");
+          }
+          if (cache_[port].servers.empty() && !backoff_retry()) {
+            // Every known server said NOTHERE and the deadline leaves no
+            // room to pause before re-locating.
             return Status::error(Errc::refused, "all servers busy");
           }
           break;  // outer loop: pick next candidate or re-locate

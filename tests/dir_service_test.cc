@@ -123,6 +123,45 @@ TEST_P(AllFlavors, ReplaceSetIsAtomic) {
   });
 }
 
+TEST_P(AllFlavors, LookupSetIsAllOrNothing) {
+  // A multi-target lookup with one missing row must fail as a whole —
+  // never return a partial result whose rows silently misalign with the
+  // requested targets (the client indexes the reply by target position).
+  Testbed bed({.flavor = GetParam(), .clients = 1, .seed = 7});
+  ASSERT_TRUE(bed.wait_ready());
+  run_client(bed, 0, [&](DirClient& dc) {
+    auto d1 = create_with_retry(dc, bed.sim());
+    auto d2 = dc.create_dir({"c"});
+    ASSERT_TRUE(d1.is_ok());
+    ASSERT_TRUE(d2.is_ok());
+    cap::Capability a, b;
+    a.object = 1;
+    b.object = 2;
+    ASSERT_TRUE(dc.append_row(*d1, "x", {a}).is_ok());
+    ASSERT_TRUE(dc.append_row(*d2, "y", {b}).is_ok());
+
+    // Missing target in the middle: the whole call refuses.
+    auto partial = dc.lookup_set({{*d1, "x"}, {*d2, "missing"}, {*d2, "y"}});
+    EXPECT_FALSE(partial.is_ok());
+    EXPECT_EQ(partial.code(), Errc::not_found);
+
+    // All present: results align with target order.
+    auto full = dc.lookup_set({{*d2, "y"}, {*d1, "x"}});
+    ASSERT_TRUE(full.is_ok());
+    ASSERT_EQ(full->size(), 2u);
+    ASSERT_FALSE((*full)[0].empty());
+    ASSERT_FALSE((*full)[1].empty());
+    EXPECT_EQ((*full)[0][0].object, 2u);
+    EXPECT_EQ((*full)[1][0].object, 1u);
+
+    // A bad capability on any target also fails the whole set.
+    cap::Capability forged = *d1;
+    forged.check ^= 1;
+    auto bad = dc.lookup_set({{forged, "x"}, {*d2, "y"}});
+    EXPECT_FALSE(bad.is_ok());
+  });
+}
+
 TEST_P(AllFlavors, ChmodRestrictsStoredCapability) {
   Testbed bed({.flavor = GetParam(), .clients = 1, .seed = 8});
   ASSERT_TRUE(bed.wait_ready());

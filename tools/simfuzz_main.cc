@@ -40,6 +40,8 @@ struct CliOptions {
   int steps = 6;
   bool inject_bug = false;
   bool legacy_faults = false;  // --faults legacy
+  bool leases = false;         // --leases: lease caching (group flavors)
+  bool batching = false;       // --batching: sequencer update batching
   std::string schedule;
   int shrink_runs = 48;
   /// Where failure artifacts (trace + metrics of the shrunk replay) land;
@@ -53,7 +55,7 @@ void usage(const char* argv0) {
       "usage: %s [--flavor NAME|all] [--seeds N] [--seed-base B] [--seed S]\n"
       "          [--clients C] [--keys K] [--steps S] [--schedule STR]\n"
       "          [--faults legacy|all] [--inject-bug] [--shrink-runs N]\n"
-      "          [--dump-dir PATH|none]\n"
+      "          [--leases] [--batching] [--dump-dir PATH|none]\n"
       "flavors: group group_nvram rpc rpc_nvram nfs all\n",
       argv0);
 }
@@ -133,6 +135,10 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       }
     } else if (a == "--inject-bug") {
       cli.inject_bug = true;
+    } else if (a == "--leases") {
+      cli.leases = true;
+    } else if (a == "--batching") {
+      cli.batching = true;
     } else if (a == "--shrink-runs") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -161,6 +167,8 @@ bool run_and_report(const CliOptions& cli, harness::Flavor flavor,
   o.steps = cli.steps;
   o.inject_stale_reads = cli.inject_bug;
   o.legacy_faults = cli.legacy_faults;
+  o.lease_caching = cli.leases;
+  o.batching = cli.batching;
   if (!cli.schedule.empty()) {
     auto sched = check::decode_schedule(cli.schedule);
     if (!sched.is_ok()) {
