@@ -1,6 +1,7 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -11,6 +12,7 @@
 #include "harness/workload.h"
 #include "obs/critical_path.h"
 #include "obs/json.h"
+#include "obs/slo.h"
 
 namespace amoeba::bench {
 
@@ -130,6 +132,55 @@ inline obs::Json legs_json(const obs::Trace& trace) {
     out.set(name, std::move(e));
   }
   return out;
+}
+
+/// Availability snapshot of one representative run: the full SLO
+/// evaluation of the cluster timeline (no faults in a bench, so the
+/// fault list is empty and the verdict is the steady-state
+/// availability / windowed-p99 scorecard) plus a downsampled windowed
+/// series. Adjacent windows are merged bucket-exactly (LogHistogram
+/// merge), so a long run compresses to <= max_points rows whose p99 is
+/// the same figure a wider window would have reported. Deterministic
+/// for a fixed run.
+inline obs::Json timeline_slo_json(const obs::Timeline& tl,
+                                   std::size_t max_points = 64) {
+  obs::Json o = obs::Json::object();
+  o.set("slo", obs::slo_json(obs::evaluate_slo(tl)));
+
+  const std::size_t n = tl.windows().size();
+  const std::size_t stride =
+      n <= max_points ? 1 : (n + max_points - 1) / max_points;
+  obs::Json series = obs::Json::array();
+  for (std::size_t i = 0; i < n; i += stride) {
+    const std::size_t hi = std::min(n, i + stride);
+    const sim::Time begin = tl.window_start(i);
+    const sim::Time end =
+        tl.window_start(hi - 1) + tl.window_width();
+    std::uint64_t ok = 0;
+    std::uint64_t err = 0;
+    for (std::size_t j = i; j < hi; ++j) {
+      ok += tl.windows()[j].total_ok();
+      err += tl.windows()[j].total_err();
+    }
+    const obs::LogHistogram h = tl.merged_latency(begin, end);
+    obs::Json pt = obs::Json::object();
+    pt.set("t_ms", obs::Json::num(sim::to_ms(begin)));
+    pt.set("ok", obs::Json::uinteger(ok));
+    pt.set("err", obs::Json::uinteger(err));
+    pt.set("p99_ms", h.n() != 0
+                         ? obs::Json::num(h.percentile_us(99) / 1000.0)
+                         : obs::Json::null());
+    series.push(std::move(pt));
+  }
+  obs::Json t = obs::Json::object();
+  t.set("window_us", obs::Json::integer(tl.window_width()));
+  t.set("windows", obs::Json::uinteger(n));
+  t.set("stride", obs::Json::uinteger(stride));
+  t.set("ops_ok", obs::Json::uinteger(tl.ops_ok()));
+  t.set("ops_err", obs::Json::uinteger(tl.ops_err()));
+  t.set("series", std::move(series));
+  o.set("timeline", std::move(t));
+  return o;
 }
 
 /// Write the report; returns false (and complains) when the file cannot

@@ -37,6 +37,7 @@ void run(const BenchArgs& args) {
   harness::Stats stats[kRows][kFlavors];
   obs::Metrics::Snapshot counters[kFlavors];
   obs::Json legs[kFlavors];
+  obs::Json avail[kFlavors];  // timeline + SLO from the first seed's run
   bool have_legs[kFlavors] = {};
   for (int f = 0; f < kFlavors; ++f) {
     std::vector<double> pooled[kRows];
@@ -47,9 +48,11 @@ void run(const BenchArgs& args) {
       auto r = harness::measure_latencies(bed);
       if (!r.ok) continue;
       if (!have_legs[f]) {
-        // Critical-path attribution from the first seed's span trees; one
-        // run is enough — the sim is deterministic per seed.
+        // Critical-path attribution and windowed availability from the
+        // first seed's run; one is enough — the sim is deterministic
+        // per seed.
         legs[f] = legs_json(bed.trace());
+        avail[f] = timeline_slo_json(bed.timeline());
         have_legs[f] = true;
       }
       pooled[0].insert(pooled[0].end(), r.append_delete_samples.begin(),
@@ -132,6 +135,8 @@ void run(const BenchArgs& args) {
     fj.set("window_counters", counters_json(counters[f]));
     fj.set("critical_path_legs",
            have_legs[f] ? std::move(legs[f]) : obs::Json::null());
+    fj.set("availability",
+           have_legs[f] ? std::move(avail[f]) : obs::Json::null());
     flavors_j.set(flavor_keys[f], std::move(fj));
   }
   root.set("flavors", std::move(flavors_j));

@@ -33,6 +33,7 @@ void run(const BenchArgs& args) {
     std::printf("%-16s |", harness::flavor_name(f));
     std::vector<harness::Stats> point_stats;
     obs::Json points = obs::Json::array();
+    obs::Json avail;  // timeline + SLO at the largest client count
     for (int n : client_counts) {
       std::vector<double> vals;
       std::vector<double> op_ms;
@@ -42,6 +43,10 @@ void run(const BenchArgs& args) {
         if (!bed.wait_ready()) continue;
         auto r = harness::lookup_throughput(bed, sim::sec(1), sim::sec(8));
         if (!r.ok) continue;
+        // Overwritten per point so the section reflects saturation load.
+        if (seed == seeds.front()) {
+          avail = timeline_slo_json(bed.timeline());
+        }
         vals.push_back(r.ops_per_sec);
         op_ms.insert(op_ms.end(), r.op_ms.begin(), r.op_ms.end());
         for (const auto& [key, value] : r.window_counters) {
@@ -85,6 +90,7 @@ void run(const BenchArgs& args) {
     fj.set("saturation_deviation_pct",
            last.ok ? dev_json(last.mean, rpc ? 520 : 652) : obs::Json::null());
     fj.set("points", std::move(points));
+    fj.set("availability", std::move(avail));
     flavors_j.set(flavor_keys[fi++], std::move(fj));
   }
 

@@ -27,6 +27,7 @@ namespace {
 struct MixResult {
   std::vector<double> lookup_ms;  // per-lookup latency in the window
   obs::Metrics::Snapshot window_counters;
+  obs::Json availability;  // timeline + SLO snapshot of the whole run
   bool ok = false;
 };
 
@@ -99,6 +100,7 @@ MixResult run_table4_mix(bool leases, std::uint64_t seed,
   sim.run_for(window);
   measuring = false;
   out.window_counters = obs::Metrics::delta(bed.metrics().snapshot(), before);
+  out.availability = timeline_slo_json(bed.timeline());
   out.ok = !out.lookup_ms.empty();
   return out;
 }
@@ -137,9 +139,11 @@ void run(const BenchArgs& args) {
   for (bool leases : {false, true}) {
     std::vector<double> all;
     obs::Metrics::Snapshot counters;
+    obs::Json avail;  // first seed's timeline + SLO snapshot
     for (std::uint64_t seed : seeds) {
       MixResult r = run_table4_mix(leases, seed, sim::sec(2), mix_window);
       if (!r.ok) continue;
+      if (avail.is_null()) avail = std::move(r.availability);
       all.insert(all.end(), r.lookup_ms.begin(), r.lookup_ms.end());
       for (const auto& [key, value] : r.window_counters) {
         counters[key] += value;
@@ -157,6 +161,7 @@ void run(const BenchArgs& args) {
     obs::Json e = obs::Json::object();
     e.set("lookup_ms", stats_json(st));
     e.set("window_counters", counters_json(counters));
+    e.set("availability", std::move(avail));
     lease_j.set(leases ? "on" : "off", std::move(e));
   }
   const double speedup = mean_on > 0 ? mean_off / mean_on : 0;
@@ -177,6 +182,7 @@ void run(const BenchArgs& args) {
     std::vector<double> all_sizes;
     double bmax = 0;
     std::uint64_t commits = 0;
+    obs::Json avail;  // first seed's run with batching on
     for (bool batching : {false, true}) {
       std::vector<double> vals;
       for (std::uint64_t seed : seeds) {
@@ -188,6 +194,9 @@ void run(const BenchArgs& args) {
         if (!bed.wait_ready()) continue;
         auto r = harness::update_throughput(bed, sim::sec(2), tput_window);
         if (!r.ok) continue;
+        if (batching && seed == seeds.front()) {
+          avail = timeline_slo_json(bed.timeline());
+        }
         vals.push_back(r.ops_per_sec);
         if (batching) {
           const auto sizes = bed.metrics().hist_samples("group.batch_size");
@@ -217,6 +226,7 @@ void run(const BenchArgs& args) {
     e.set("delta_pct", obs::Json::num(delta));
     e.set("batch_size", hist_json(bsizes, bmax));
     e.set("nvram_group_commits", obs::Json::uinteger(commits));
+    e.set("availability", std::move(avail));
     batch_j.set(f == harness::Flavor::group ? "group" : "group_nvram",
                 std::move(e));
   }

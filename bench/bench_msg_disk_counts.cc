@@ -66,6 +66,7 @@ struct DiskPerOp {
   double per_op = 0;
   bool ok = false;
   obs::Metrics::Snapshot window;  // counter deltas over the measured appends
+  obs::Json availability;  // timeline + SLO snapshot of the whole run
 };
 
 /// Disk writes per append operation for a directory-service flavor,
@@ -110,6 +111,7 @@ DiskPerOp disk_writes_per_update(harness::Flavor f) {
   while (!done) bed.sim().run_for(sim::msec(100));
   bed.sim().run_for(sim::sec(4));  // drain lazy copies / NVRAM flush
   out.window = obs::Metrics::delta(bed.metrics().snapshot(), before);
+  out.availability = timeline_slo_json(bed.timeline());
   const auto it = out.window.find("disk.writes");
   const std::uint64_t writes = it == out.window.end() ? 0 : it->second;
   out.per_op = static_cast<double>(writes) / n;
@@ -201,6 +203,7 @@ void run(const BenchArgs& args) {
                                ? dev_json(per_op[f].per_op, paper_writes[f])
                                : obs::Json::null());
     e.set("window_counters", counters_json(per_op[f].window));
+    e.set("availability", std::move(per_op[f].availability));
     dw.set(flavor_keys[f], std::move(e));
   }
   root.set("disk_writes_per_update", std::move(dw));

@@ -20,6 +20,24 @@ void restart_machine(harness::Testbed& bed, net::Machine& m) {
 
 }  // namespace
 
+const char* fault_kind_name(FaultStep::Kind k) {
+  switch (k) {
+    case FaultStep::Kind::calm: return "calm";
+    case FaultStep::Kind::crash: return "crash";
+    case FaultStep::Kind::partition: return "partition";
+    case FaultStep::Kind::loss: return "loss";
+    case FaultStep::Kind::dup: return "dup";
+    case FaultStep::Kind::reorder: return "reorder";
+    case FaultStep::Kind::disk_fault: return "disk_fault";
+    case FaultStep::Kind::torn_nvram: return "torn_nvram";
+    case FaultStep::Kind::storage_crash: return "storage_crash";
+    case FaultStep::Kind::crash_recovering: return "crash_recovering";
+    case FaultStep::Kind::crash_recovering_storage:
+      return "crash_recovering_storage";
+  }
+  return "unknown";
+}
+
 NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
                                int steps, bool legacy_only) {
   NemesisOptions o;
@@ -254,15 +272,36 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
   const int victim = n > 0 ? step.victim % n : 0;
   const int nsto = bed.num_storage();
   const int sto_victim = nsto > 0 ? step.victim % nsto : -1;
+  // Fault-phase bracket: `inject` opens a phase on the availability
+  // timeline (detection/isolation/recovery marks arrive from the layers as
+  // signals); `heal` closes the injection and drops a "nemesis" span on the
+  // victim's trace lane so fault bars line up with the request spans they
+  // disturbed. Network-wide faults (loss/dup/reorder) carry victim = -1.
+  obs::Timeline& tl = bed.timeline();
+  const char* kname = fault_kind_name(step.kind);
+  sim::Time t_inject = -1;
+  std::uint32_t lane = 0;
+  auto inject = [&](std::uint32_t pid, int timeline_victim) {
+    t_inject = sim.now();
+    lane = pid;
+    tl.fault_injected(kname, timeline_victim, t_inject);
+  };
+  auto heal = [&] {
+    tl.fault_healed(sim.now());
+    bed.trace().complete(t_inject, sim.now() - t_inject, "nemesis", kname,
+                         lane, static_cast<std::uint64_t>(step.victim));
+  };
   switch (step.kind) {
     case FaultStep::Kind::calm:
       sim.run_for(step.fault);
       break;
     case FaultStep::Kind::crash: {
       net::Machine& m = bed.dir_server(victim);
+      inject(m.id().v, victim);
       crash_machine(bed, m);
       sim.run_for(step.fault);
       restart_machine(bed, m);
+      heal();
       break;
     }
     case FaultStep::Kind::partition: {
@@ -279,28 +318,36 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
       for (int i = 0; i < bed.num_clients(); ++i) {
         big.push_back(bed.client(i).id());
       }
+      inject(bed.dir_server(victim).id().v, victim);
       bed.cluster().partition({big, small});
       sim.run_for(step.fault);
       bed.cluster().heal();
+      heal();
       break;
     }
     case FaultStep::Kind::loss: {
       const double base = bed.options().drop_prob;
+      inject(bed.dir_server(0).id().v, -1);
       bed.cluster().net().set_drop_prob(std::min(0.9, base + step.prob));
       sim.run_for(step.fault);
       bed.cluster().net().set_drop_prob(base);
+      heal();
       break;
     }
     case FaultStep::Kind::dup: {
+      inject(bed.dir_server(0).id().v, -1);
       bed.cluster().net().set_dup_prob(std::min(0.9, step.prob));
       sim.run_for(step.fault);
       bed.cluster().net().set_dup_prob(0.0);
+      heal();
       break;
     }
     case FaultStep::Kind::reorder: {
+      inject(bed.dir_server(0).id().v, -1);
       bed.cluster().net().set_reorder_prob(std::min(0.9, step.prob));
       sim.run_for(step.fault);
       bed.cluster().net().set_reorder_prob(0.0);
+      heal();
       break;
     }
     case FaultStep::Kind::disk_fault: {
@@ -309,9 +356,11 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
         break;
       }
       disk::VirtualDisk& d = bed.vdisk(sto_victim);
+      inject(bed.storage(sto_victim).id().v, sto_victim);
       d.set_fault_prob(step.prob);
       sim.run_for(step.fault);
       d.set_fault_prob(0.0);
+      heal();
       break;
     }
     case FaultStep::Kind::torn_nvram: {
@@ -320,11 +369,13 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
       // cope with.
       net::Machine& m = bed.dir_server(victim);
       nvram::Nvram* nv = bed.nvram_of(victim);
+      inject(m.id().v, victim);
       if (nv != nullptr) nv->set_torn_appends(true);
       crash_machine(bed, m);
       if (nv != nullptr) nv->set_torn_appends(false);
       sim.run_for(step.fault);
       restart_machine(bed, m);
+      heal();
       break;
     }
     case FaultStep::Kind::storage_crash: {
@@ -336,19 +387,23 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
       // persists only a prefix.
       net::Machine& s = bed.storage(sto_victim);
       disk::VirtualDisk& d = bed.vdisk(sto_victim);
+      inject(s.id().v, sto_victim);
       d.set_torn_writes(true);
       crash_machine(bed, s);
       d.set_torn_writes(false);
       sim.run_for(step.fault);
       restart_machine(bed, s);
+      heal();
       break;
     }
     case FaultStep::Kind::crash_recovering: {
       // The Sec. 3.2 headline scenario: a server dies again while it is
       // still rejoining / state-transferring. The second kill lands
       // `fault` after the restart, so different seeds hit different
-      // recovery phases (join, exchange, snapshot fetch, persist).
+      // recovery phases (join, exchange, snapshot fetch, persist). One
+      // fault phase spans both kills: healed = the final restart.
       net::Machine& m = bed.dir_server(victim);
+      inject(m.id().v, victim);
       crash_machine(bed, m);
       sim.run_for(sim::msec(200));
       restart_machine(bed, m);
@@ -356,6 +411,7 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
       crash_machine(bed, m);
       sim.run_for(sim::msec(400));
       restart_machine(bed, m);
+      heal();
       break;
     }
     case FaultStep::Kind::crash_recovering_storage: {
@@ -363,6 +419,7 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
       // that server is recovering: its snapshot install / persist path
       // sees its own disk vanish mid-flight.
       net::Machine& m = bed.dir_server(victim);
+      inject(m.id().v, victim);
       crash_machine(bed, m);
       sim.run_for(sim::msec(200));
       restart_machine(bed, m);
@@ -378,6 +435,7 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
       } else {
         sim.run_for(step.fault);
       }
+      heal();
       break;
     }
   }

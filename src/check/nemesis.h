@@ -61,6 +61,10 @@ struct NemesisOptions {
   int nservers = 3;
 };
 
+/// Stable human-readable name of a fault kind ("crash", "partition", ...).
+/// Used for timeline phase labels, nemesis trace spans and SLO reports.
+const char* fault_kind_name(FaultStep::Kind k);
+
 /// The fault kinds a flavor's documented fault model supports. With
 /// `legacy_only`, restrict to the PR-1 kinds (crash/partition/loss).
 NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,

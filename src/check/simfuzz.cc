@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string_view>
 #include <utility>
 
 #include "dir/client.h"
@@ -36,9 +37,14 @@ bool write_file(const std::string& path, const std::string& text) {
 }
 
 /// FuzzOptions::dump_prefix — the run's causal trace plus the final metric
-/// counters, for post-mortem inspection of a failing schedule.
-void dump_artifacts(const FuzzOptions& opts, Testbed& bed) {
+/// counters (and, for a stalled run, the watchdog's stall report), for
+/// post-mortem inspection of a failing schedule.
+void dump_artifacts(const FuzzOptions& opts, Testbed& bed,
+                    const std::string& stall_json = {}) {
   if (opts.dump_prefix.empty()) return;
+  if (!stall_json.empty()) {
+    write_file(opts.dump_prefix + ".stall.json", stall_json);
+  }
   write_file(opts.dump_prefix + ".trace.json",
              bed.trace().to_chrome_json());
   obs::Json root = obs::Json::object();
@@ -91,6 +97,100 @@ struct Semantic {
     }
   }
 };
+
+/// The watchdog's structured explanation of a livelocked run: when did
+/// progress stop, what does the availability timeline's last populated
+/// window look like, what state is every server in, and which causal
+/// traces have activity but no completed client-visible "dir" root span
+/// (the in-flight operations the run is stuck behind).
+std::string stall_report(Testbed& bed, sim::Time watch_start) {
+  obs::Timeline& tl = bed.timeline();
+  obs::Json root = obs::Json::object();
+  root.set("stall", obs::Json::boolean(true));
+  root.set("now_ms", obs::Json::num(static_cast<double>(bed.sim().now()) / 1e3));
+  root.set("watch_start_ms",
+           obs::Json::num(static_cast<double>(watch_start) / 1e3));
+  root.set("last_ok_completion_ms",
+           obs::Json::num(static_cast<double>(tl.last_ok_completion()) / 1e3));
+  root.set("last_completion_ms",
+           obs::Json::num(static_cast<double>(tl.last_completion()) / 1e3));
+  root.set("ops_ok", obs::Json::uinteger(tl.ops_ok()));
+  root.set("ops_err", obs::Json::uinteger(tl.ops_err()));
+
+  // Last populated timeline window: the final picture of client-visible
+  // service before progress stopped.
+  const auto& wins = tl.windows();
+  std::size_t last = wins.size();
+  for (std::size_t i = wins.size(); i-- > 0;) {
+    if (wins[i].total_ok() + wins[i].total_err() > 0) {
+      last = i;
+      break;
+    }
+  }
+  if (last < wins.size()) {
+    const obs::TimelineWindow& w = wins[last];
+    obs::Json jw = obs::Json::object();
+    jw.set("start_ms", obs::Json::num(
+                           static_cast<double>(tl.window_start(last)) / 1e3));
+    jw.set("ok", obs::Json::uinteger(w.total_ok()));
+    jw.set("err", obs::Json::uinteger(w.total_err()));
+    jw.set("p99_ms",
+           obs::Json::num(w.latency.percentile_us(99.0) / 1e3));
+    root.set("last_window", std::move(jw));
+  } else {
+    root.set("last_window", obs::Json::null());
+  }
+
+  obs::Json servers = obs::Json::array();
+  for (int i = 0; i < bed.num_dir_servers(); ++i) {
+    net::Machine& m = bed.dir_server(i);
+    obs::Json js = obs::Json::object();
+    js.set("name", obs::Json::str(m.name()));
+    js.set("up", obs::Json::boolean(m.up()));
+    js.set("boot_count", obs::Json::integer(m.boot_count()));
+    if (is_group(bed.options().flavor)) {
+      const dir::GroupDirStats& st = dir::group_dir_stats(m);
+      js.set("in_recovery", obs::Json::boolean(st.in_recovery));
+      js.set("applied_seqno", obs::Json::uinteger(st.applied_seqno));
+      js.set("recoveries", obs::Json::uinteger(st.recoveries));
+    }
+    servers.push(std::move(js));
+  }
+  root.set("servers", std::move(servers));
+
+  // In-flight operations: causal trees with recorded activity whose client
+  // root span (cat "dir") never completed. Report the most recent event of
+  // each — the live frontier of the stuck span tree.
+  struct Frontier {
+    sim::Time ts = 0;
+    const char* cat = "";
+    const char* name = "";
+  };
+  std::map<std::uint64_t, Frontier> open;
+  for (const obs::TraceEvent& e : bed.trace().events()) {
+    if (e.trace == 0) continue;
+    if (std::string_view(e.cat) == "dir") {
+      open.erase(e.trace);  // root completed: op finished
+      continue;
+    }
+    Frontier& f = open[e.trace];
+    if (e.ts >= f.ts) f = {e.ts, e.cat, e.name};
+  }
+  obs::Json inflight = obs::Json::array();
+  std::size_t shown = 0;
+  for (auto it = open.rbegin(); it != open.rend() && shown < 8; ++it, ++shown) {
+    obs::Json jt = obs::Json::object();
+    jt.set("trace", obs::Json::uinteger(it->first));
+    jt.set("last_event_ms",
+           obs::Json::num(static_cast<double>(it->second.ts) / 1e3));
+    jt.set("last_cat", obs::Json::str(it->second.cat));
+    jt.set("last_name", obs::Json::str(it->second.name));
+    inflight.push(std::move(jt));
+  }
+  root.set("inflight_traces", std::move(inflight));
+  root.set("inflight_total", obs::Json::uinteger(open.size()));
+  return root.dump();
+}
 
 /// Fetch one replica's raw state snapshot over its admin/peer port.
 Result<Buffer> fetch_snapshot(Testbed& bed, rpc::RpcClient& rpc, int server) {
@@ -264,7 +364,41 @@ FuzzReport run_one(const FuzzOptions& opts) {
   }
 
   run_schedule(bed, report.schedule_used);
-  sim.run_for(opts.workload_tail);
+
+  if (opts.debug_stall) {
+    // Watchdog self-test hook: take the whole service down and leave it
+    // down, so the quiet tail cannot make progress.
+    for (int i = 0; i < nservers; ++i) {
+      if (bed.dir_server(i).up()) bed.cluster().crash(bed.dir_server(i).id());
+    }
+  }
+
+  // Post-storm tail under the progress watchdog: the nemesis is quiet, so
+  // a healthy service must complete successful client ops. If none lands
+  // for `opts.watchdog` of simulated time, the run is livelocked — emit a
+  // structured stall report instead of silently burning the tail (and, in
+  // a real hang, instead of never terminating).
+  if (opts.watchdog <= 0) {
+    sim.run_for(opts.workload_tail);
+  } else {
+    const sim::Time watch_start = sim.now();
+    const sim::Time tail_end =
+        sim.now() +
+        std::max(opts.workload_tail, opts.watchdog + sim::sec(1));
+    while (sim.now() < tail_end) {
+      sim.run_for(std::min<sim::Duration>(sim::msec(100),
+                                          tail_end - sim.now()));
+      const sim::Time last =
+          std::max(bed.timeline().last_ok_completion(), watch_start);
+      if (sim.now() - last >= opts.watchdog) {
+        report.stalled = true;
+        report.stall_report = stall_report(bed, watch_start);
+        LOG_WARN << "simfuzz watchdog: no successful client op for "
+                 << (sim.now() - last) / 1000 << " ms of quiet tail";
+        break;
+      }
+    }
+  }
 
   // Quiesce: stop clients, repair everything, wait out recovery. Replica
   // agreement is only meaningful once no operation is in flight.
@@ -413,6 +547,9 @@ FuzzReport run_one(const FuzzOptions& opts) {
   report.history = history.events();
 
   std::string fail;
+  if (report.stalled) {
+    fail += "[watchdog] livelock: no successful client op during quiet tail ";
+  }
   if (!verify_fail.empty()) fail += "[verify] " + verify_fail + " ";
   if (!report.replicas_agree) fail += "[replicas] states diverge ";
   if (!report.lin.ok) fail += "[history] " + report.lin.summary() + " ";
@@ -421,7 +558,7 @@ FuzzReport run_one(const FuzzOptions& opts) {
   }
   report.failure = fail;
   report.ok = fail.empty();
-  dump_artifacts(opts, bed);
+  dump_artifacts(opts, bed, report.stall_report);
   return report;
 }
 
@@ -460,6 +597,7 @@ std::string repro_command(const FuzzOptions& opts,
   if (opts.legacy_faults) cmd += " --faults legacy";
   if (opts.lease_caching) cmd += " --leases";
   if (opts.batching) cmd += " --batching";
+  if (opts.debug_stall) cmd += " --debug-stall";
   if (schedule.empty()) {
     cmd += " --steps 0";
   } else {

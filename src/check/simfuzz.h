@@ -49,6 +49,18 @@ struct FuzzOptions {
   bool batching = false;
   std::vector<FaultStep> schedule;  // empty => make_schedule(seed)
   sim::Duration workload_tail = sim::sec(3);  // client time after the storm
+  /// Online progress watchdog: while the nemesis is quiet (the post-storm
+  /// tail), if no client completes a *successful* operation for this much
+  /// simulated time the run is declared stalled and a structured stall
+  /// report (last timeline window, per-server state, in-flight traces)
+  /// replaces the silent hang. The watched tail is stretched to at least
+  /// watchdog + 1s so the detector always has room to fire. 0 disables
+  /// (and restores the plain `workload_tail`).
+  sim::Duration watchdog = sim::sec(10);
+  /// Test hook: crash every directory server right after the fault storm
+  /// and leave them down, so the tail makes no progress and the watchdog
+  /// must fire.
+  bool debug_stall = false;
   /// When nonempty, dump debugging artifacts when the run ends (whatever
   /// the verdict): <prefix>.trace.json holds the whole run's causal trace
   /// (Chrome trace_event format) and <prefix>.metrics.json the final
@@ -74,6 +86,11 @@ struct FuzzReport {
 
   CheckResult lin;
   bool replicas_agree = true;
+  /// Watchdog verdict: the run livelocked (no successful client op for
+  /// FuzzOptions::watchdog of quiet sim time). `stall_report` is the full
+  /// structured explanation (JSON).
+  bool stalled = false;
+  std::string stall_report;
   std::vector<FaultStep> schedule_used;
   /// The full recorded history (for debugging failures and for tests).
   std::vector<Event> history;

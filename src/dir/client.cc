@@ -23,6 +23,40 @@ const char* op_name(DirOp op) {
 }
 
 std::uint32_t g_lease_salt = 0;  // distinct invalidation port per client
+
+obs::TimelineOp timeline_op(DirOp op) {
+  switch (op) {
+    case DirOp::create_dir: return obs::TimelineOp::create_dir;
+    case DirOp::delete_dir: return obs::TimelineOp::delete_dir;
+    case DirOp::list_dir: return obs::TimelineOp::list_dir;
+    case DirOp::append_row: return obs::TimelineOp::append_row;
+    case DirOp::chmod_row: return obs::TimelineOp::chmod_row;
+    case DirOp::delete_row: return obs::TimelineOp::delete_row;
+    case DirOp::lookup_set: return obs::TimelineOp::lookup_set;
+    case DirOp::replace_set: return obs::TimelineOp::replace_set;
+  }
+  return obs::TimelineOp::other;
+}
+
+/// SLO classification: "error" means the service failed the client
+/// (timeout, lost quorum, crash, device failure). Semantic negatives —
+/// not_found, exists, conflict, a refused precondition — are successful
+/// service: the request was executed and answered.
+bool slo_error(const Status& st) {
+  switch (st.code()) {
+    case Errc::timeout:
+    case Errc::no_majority:
+    case Errc::io_error:
+    case Errc::unreachable:
+    case Errc::group_failure:
+    case Errc::aborted:
+    case Errc::full:
+    case Errc::internal:
+      return true;
+    default:
+      return false;
+  }
+}
 }  // namespace
 
 Result<Buffer> DirClient::call(Buffer request) {
@@ -38,8 +72,13 @@ Result<Buffer> DirClient::call(Buffer request) {
   tr.complete(t0, sim.now() - t0, "dir",
               op.is_ok() ? op_name(*op) : "malformed", rpc_.machine().id().v,
               root.trace, root.trace, root.span, 0);
+  // Availability timeline: every client-visible completion lands in the
+  // window of its completion instant, errors classified by whether the
+  // service failed (not by whether the answer was a positive hit).
+  const Status st = res.is_ok() ? reply_status(*res) : res.status();
+  tl_->record(op.is_ok() ? timeline_op(*op) : obs::TimelineOp::other, t0,
+              sim.now(), !slo_error(st));
   if (!res.is_ok()) return res.status();
-  Status st = reply_status(*res);
   if (!st.is_ok()) return st;
   Buffer payload(res->begin() + 1, res->end());
   return payload;
@@ -204,6 +243,9 @@ Result<std::vector<std::vector<cap::Capability>>> DirClient::lookup_set(
       last_from_cache_ = true;
       last_hit_fill_invoke_ = earliest_fill;
       ++*mx_hits_;
+      // A cache hit is still a completed client op: 0-latency success.
+      const sim::Time now = rpc_.machine().sim().now();
+      tl_->record(obs::TimelineOp::lookup_set, now, now, true);
       return out;
     }
     ++*mx_misses_;

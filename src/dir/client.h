@@ -31,7 +31,10 @@ class DirClient {
                                             .max_failovers = 16,
                                             .backoff_base = sim::msec(10),
                                             .backoff_cap = sim::msec(400)})
-      : rpc_(rpc), port_(service_port), opts_(trans_opts) {}
+      : rpc_(rpc),
+        port_(service_port),
+        opts_(trans_opts),
+        tl_(&rpc.machine().timeline()) {}
 
   /// Create a directory with the given protection columns; returns the
   /// owner (all-rights) capability.
@@ -115,6 +118,9 @@ class DirClient {
   rpc::RpcClient& rpc_;
   net::Port port_;
   rpc::TransOptions opts_;
+  /// Cluster availability timeline (interned once; hot-path recording is
+  /// an enum-indexed bump, no lookups).
+  obs::Timeline* tl_;
 
   // Lease state (unused until enable_leases()).
   net::Port lease_port_{};

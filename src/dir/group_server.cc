@@ -710,6 +710,7 @@ void run_recovery(ServerCtx& ctx, Storage& st) {
   ctx.machine.metrics().counter("dir.group", "recoveries")++;
   ctx.machine.trace().complete(t0, ctx.now() - t0, "dir.group", "recovery",
                                ctx.machine.id().v);
+  ctx.machine.timeline().signal(obs::Signal::recovery_done, ctx.now());
 }
 
 // --------------------------------------------------------- normal operation
@@ -818,6 +819,9 @@ void group_thread_loop(ServerCtx& ctx, Storage& st) {
       // Membership change: record the new configuration vector.
       ctx.machine.trace().instant(ctx.now(), "dir.group", "view_change",
                                   ctx.machine.id().v, msg.seqno);
+      // The application observing a membership change means the faulty
+      // member is isolated: mark it on the availability timeline.
+      ctx.machine.timeline().signal(obs::Signal::view_change, ctx.now());
       update_config_from_group(ctx, st);
       if (msg.seqno > ctx.applied_seqno) ctx.applied_seqno = msg.seqno;
       ctx.applied_wq.notify_all();

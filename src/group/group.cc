@@ -263,6 +263,10 @@ void GroupMember::Ctx::go_failed(const std::string& why) {
            << " FAILED: " << why;
   (*mx_failures)++;
   tr->instant(now(), "group", "failed", me.v, incarnation);
+  // A member concluding "failed" is the group layer's first concrete
+  // suspicion that something is wrong: feed the availability timeline's
+  // detection mark.
+  machine.timeline().signal(obs::Signal::suspicion, now());
   const bool was_sequencer = i_am_sequencer() && state == MemberState::normal;
   state = MemberState::failed;
   if (was_sequencer) {
@@ -1038,6 +1042,7 @@ void GroupMember::Ctx::on_packet(const net::Packet& pkt) {
       }
       (*mx_views)++;
       tr->instant(now(), "group", "view", me.v, incarnation);
+      machine.timeline().signal(obs::Signal::view_install, now());
       // Tell the application a new view was installed (it may need to
       // record the configuration, as the directory service does).
       GroupMsg note;

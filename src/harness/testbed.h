@@ -71,6 +71,7 @@ class Testbed {
   net::Cluster& cluster() { return *cluster_; }
   obs::Metrics& metrics() { return cluster_->metrics(); }
   obs::Trace& trace() { return cluster_->trace(); }
+  obs::Timeline& timeline() { return cluster_->timeline(); }
 
   [[nodiscard]] int num_dir_servers() const {
     return static_cast<int>(dir_servers_.size());

@@ -33,24 +33,6 @@ cap::Capability dummy_cap(std::uint64_t n) {
 
 }  // namespace
 
-Stats summarize(const std::vector<double>& xs) {
-  Stats s;
-  if (xs.empty()) return s;  // ok stays false: no figure can be derived
-  double sum = 0;
-  for (double x : xs) sum += x;
-  s.mean = sum / static_cast<double>(xs.size());
-  double var = 0;
-  for (double x : xs) var += (x - s.mean) * (x - s.mean);
-  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
-  std::vector<double> sorted = xs;
-  std::sort(sorted.begin(), sorted.end());
-  s.p50 = obs::percentile(sorted, 50.0);
-  s.p99 = obs::percentile(sorted, 99.0);
-  s.n = xs.size();
-  s.ok = true;
-  return s;
-}
-
 LatencyResult measure_latencies(Testbed& bed, int warmup, int iters) {
   LatencyResult out;
   sim::Simulator& sim = bed.sim();

@@ -70,17 +70,15 @@ ThroughputResult append_throughput(Testbed& bed,
                                    sim::Duration warmup = sim::sec(2),
                                    sim::Duration window = sim::sec(15));
 
-/// Summary statistics over a sample vector. `ok` is false when the input
-/// was empty — every field is then zero and MUST NOT be reported as a
-/// measurement (benches print "no data" instead of a figure).
-struct Stats {
-  double mean = 0;
-  double stddev = 0;  // population standard deviation
-  double p50 = 0;
-  double p99 = 0;
-  std::size_t n = 0;
-  bool ok = false;
-};
-Stats summarize(const std::vector<double>& xs);
+/// Summary statistics over a sample vector — an alias for the shared
+/// obs::HistSummary, so the harness, the bench binaries and the timeline
+/// layer all agree on one implementation of mean/stddev/percentile math.
+/// `ok` is false when the input was empty — every field is then zero and
+/// MUST NOT be reported as a measurement (benches print "no data"
+/// instead of a figure).
+using Stats = obs::HistSummary;
+inline Stats summarize(const std::vector<double>& xs) {
+  return obs::summarize_samples(xs);
+}
 
 }  // namespace amoeba::harness

@@ -32,6 +32,7 @@ sim::Simulator& Machine::sim() { return cluster_.sim(); }
 Network& Machine::net() { return cluster_.net(); }
 obs::Metrics& Machine::metrics() { return cluster_.metrics(); }
 obs::Trace& Machine::trace() { return cluster_.trace(); }
+obs::Timeline& Machine::timeline() { return cluster_.timeline(); }
 
 void Machine::reap_finished() {
   std::erase_if(live_, [](sim::Process* p) { return p->finished(); });

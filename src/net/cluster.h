@@ -16,6 +16,7 @@
 #include "net/network.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "sim/mailbox.h"
 #include "sim/resource.h"
@@ -79,6 +80,7 @@ class Machine {
   Network& net();
   obs::Metrics& metrics();
   obs::Trace& trace();
+  obs::Timeline& timeline();
   sim::FifoResource& cpu() { return cpu_; }
 
   /// Spawn a process that dies with the machine. Only valid while up.
@@ -163,10 +165,12 @@ class Cluster {
 
   sim::Simulator& sim() { return sim_; }
   Network& net() { return net_; }
-  /// Cluster-wide observability: one registry + one trace ring per
-  /// simulated deployment, shared by every layer on every machine.
+  /// Cluster-wide observability: one registry + one trace ring + one
+  /// availability timeline per simulated deployment, shared by every
+  /// layer on every machine.
   obs::Metrics& metrics() { return metrics_; }
   obs::Trace& trace() { return trace_; }
+  obs::Timeline& timeline() { return timeline_; }
 
   /// Toggle trace recording cluster-wide. The Trace object stays attached
   /// (layers keep their pointer); recording just becomes a predicted-false
@@ -179,6 +183,7 @@ class Cluster {
   // Declared before net_: the network mirrors its counters here.
   obs::Metrics metrics_;
   obs::Trace trace_;
+  obs::Timeline timeline_;
   Network net_;
   std::vector<std::unique_ptr<Machine>> machines_;
 };

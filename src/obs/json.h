@@ -4,11 +4,18 @@
 // rules and nothing depends on wall clock or addresses, so dumping the
 // same value tree always yields the same bytes — the property the
 // BENCH_*.json determinism check in CI relies on.
+//
+// `parse()` is the inverse, just big enough to read the documents the
+// builder writes (simsweep --summary aggregates per-seed SLO JSONs):
+// strict recursive descent, no comments, \uXXXX escapes decoded only
+// for the ASCII range.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -53,6 +60,34 @@ class Json {
   Json& push(Json v);
 
   [[nodiscard]] bool is_null() const { return kind_ == Kind::null; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::array; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::string; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::number || kind_ == Kind::integer ||
+           kind_ == Kind::uinteger;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Array length (0 when not an array).
+  [[nodiscard]] std::size_t size() const {
+    return kind_ == Kind::array ? arr_.size() : 0;
+  }
+  /// Array element; `i` must be < size().
+  [[nodiscard]] const Json& at(std::size_t i) const { return arr_[i]; }
+
+  /// Numeric value as double; `def` when this is not a number.
+  [[nodiscard]] double as_num(double def = 0) const;
+  [[nodiscard]] std::int64_t as_int(std::int64_t def = 0) const;
+  [[nodiscard]] const std::string& as_str() const { return str_; }
+  [[nodiscard]] bool as_bool(bool def = false) const {
+    return kind_ == Kind::boolean ? bool_ : def;
+  }
+
+  /// Parse a JSON document; std::nullopt on any syntax error or
+  /// trailing garbage.
+  static std::optional<Json> parse(std::string_view text);
 
   /// Serialize with 2-space indentation and a trailing newline.
   [[nodiscard]] std::string dump() const;

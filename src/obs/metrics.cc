@@ -24,6 +24,9 @@ HistSummary summarize_samples(std::vector<double> xs) {
   for (double x : xs) sum += x;
   s.n = xs.size();
   s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
   s.p50 = percentile(xs, 50);
   s.p99 = percentile(xs, 99);
   s.min = xs.front();

@@ -37,9 +37,12 @@ using Counter = std::uint64_t;
 using Hist = std::vector<double>;
 
 /// Summary of one histogram (sim-time latency samples, milliseconds).
+/// The single home of mean/stddev/percentile math — the harness and the
+/// bench binaries alias this rather than re-deriving their own figures.
 struct HistSummary {
   std::uint64_t n = 0;
   double mean = 0;
+  double stddev = 0;  // population standard deviation
   double p50 = 0;
   double p99 = 0;
   double min = 0;

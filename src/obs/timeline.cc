@@ -1,0 +1,262 @@
+#include "obs/timeline.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace amoeba::obs {
+
+// ----------------------------------------------------------- LogHistogram
+
+int LogHistogram::index(sim::Duration v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < (1ull << kExactBits)) return static_cast<int>(u);
+  // Octave = position of the highest set bit; sub-bucket = the kSubBits
+  // bits right below it.
+  const int msb = 63 - std::countl_zero(u);
+  const int octave = msb - kExactBits;
+  const auto sub = static_cast<int>((u >> (msb - kSubBits)) & ((1 << kSubBits) - 1));
+  int idx = (1 << kExactBits) + octave * (1 << kSubBits) + sub;
+  if (idx >= kBuckets) idx = kBuckets - 1;
+  return idx;
+}
+
+std::int64_t LogHistogram::lower_bound_us(int i) {
+  if (i < (1 << kExactBits)) return i;
+  const int rel = i - (1 << kExactBits);
+  const int octave = rel >> kSubBits;
+  const int sub = rel & ((1 << kSubBits) - 1);
+  const int msb = kExactBits + octave;
+  return (std::int64_t{1} << msb) +
+         (static_cast<std::int64_t>(sub) << (msb - kSubBits));
+}
+
+double LogHistogram::percentile_us(double p) const {
+  if (n_ == 0) return 0;
+  // Rank on the same 0-based linear-interpolation convention as
+  // obs::percentile, resolved at bucket granularity.
+  const double rank = (p / 100.0) * static_cast<double>(n_ - 1);
+  const auto target = static_cast<std::uint64_t>(rank) + 1;  // 1-based count
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    cum += counts_[i];
+    if (cum >= target) {
+      const std::int64_t lo = lower_bound_us(i);
+      const std::int64_t hi =
+          i + 1 < kBuckets ? lower_bound_us(i + 1) : lo + 1;
+      // Interpolate by the rank's position among this bucket's samples.
+      const std::uint64_t before = cum - counts_[i];
+      const double frac =
+          (static_cast<double>(target - before) - 0.5) /
+          static_cast<double>(counts_[i]);
+      return static_cast<double>(lo) +
+             static_cast<double>(hi - lo) * frac;
+    }
+  }
+  return 0;  // unreachable when n_ > 0
+}
+
+// --------------------------------------------------------------- Timeline
+
+const char* timeline_op_name(TimelineOp op) {
+  switch (op) {
+    case TimelineOp::create_dir: return "create_dir";
+    case TimelineOp::delete_dir: return "delete_dir";
+    case TimelineOp::list_dir: return "list_dir";
+    case TimelineOp::append_row: return "append_row";
+    case TimelineOp::chmod_row: return "chmod_row";
+    case TimelineOp::delete_row: return "delete_row";
+    case TimelineOp::lookup_set: return "lookup_set";
+    case TimelineOp::replace_set: return "replace_set";
+    case TimelineOp::other: return "other";
+  }
+  return "?";
+}
+
+TimelineWindow& Timeline::window_at(sim::Time ts) {
+  const std::int64_t idx = ts / window_;
+  if (windows_.empty()) {
+    base_ = idx;
+    windows_.emplace_back();
+    return windows_.back();
+  }
+  if (idx < base_) return windows_.front();  // clock never runs backwards
+  const auto rel = static_cast<std::size_t>(idx - base_);
+  // Materialize skipped windows as empty: a quiet stretch of the run is
+  // data ("no client completed anything here"), not a gap in the series.
+  while (rel >= windows_.size()) windows_.emplace_back();
+  return windows_[rel];
+}
+
+void Timeline::record(TimelineOp op, sim::Time start, sim::Time end,
+                      bool ok) {
+  TimelineWindow& w = window_at(end);
+  const auto o = static_cast<std::size_t>(op);
+  w.latency.add(end - start);
+  if (ok) {
+    ++w.ok[o];
+    ++ops_ok_;
+    last_ok_ = end;
+  } else {
+    ++w.err[o];
+    ++ops_err_;
+  }
+  last_any_ = end;
+  // A successful op at/after the heal instant means clients see service
+  // again: it closes the open fault's recovery phase.
+  if (ok && !phases_.empty()) {
+    FaultPhase& ph = phases_.back();
+    if (ph.recovered < 0 && ph.healed >= 0 && end >= ph.healed) {
+      ph.recovered = end;
+    }
+  }
+}
+
+void Timeline::fault_injected(const char* fault, int victim, sim::Time ts) {
+  FaultPhase ph;
+  ph.fault = fault;
+  ph.victim = victim;
+  ph.injected = ts;
+  phases_.push_back(ph);
+}
+
+void Timeline::fault_healed(sim::Time ts) {
+  if (phases_.empty()) return;
+  if (phases_.back().healed < 0) phases_.back().healed = ts;
+}
+
+void Timeline::signal(Signal s, sim::Time ts) {
+  if (phases_.empty()) return;
+  FaultPhase& ph = phases_.back();
+  if (ts < ph.injected) return;
+  switch (s) {
+    case Signal::suspicion:
+    case Signal::view_install:
+    case Signal::rpc_timeout:
+      if (ph.detected < 0) {
+        ph.detected = ts;
+        ph.detected_by = s == Signal::suspicion     ? "suspicion"
+                         : s == Signal::view_install ? "view_install"
+                                                     : "rpc_timeout";
+      }
+      break;
+    case Signal::view_change:
+      // The service reconfigured around the fault. A view change is
+      // itself evidence the fault was noticed, so it may close
+      // detection too (e.g. the victim's lease on the sequencer lapsed
+      // without an explicit suspicion reaching this layer first).
+      if (ph.detected < 0) {
+        ph.detected = ts;
+        ph.detected_by = "view_change";
+      }
+      if (ph.isolated < 0 && ts >= ph.detected) ph.isolated = ts;
+      break;
+    case Signal::recovery_done:
+      if (ph.healed >= 0 && ts >= ph.healed) {
+        if (ph.recovered < 0) ph.recovered = ts;
+        if (ph.rejoined < 0) ph.rejoined = ts;
+      }
+      break;
+  }
+}
+
+LogHistogram Timeline::merged_latency() const {
+  LogHistogram out;
+  for (const TimelineWindow& w : windows_) out.merge(w.latency);
+  return out;
+}
+
+LogHistogram Timeline::merged_latency(sim::Time begin, sim::Time end) const {
+  LogHistogram out;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const sim::Time w0 = window_start(i);
+    if (w0 + window_ <= begin || w0 >= end) continue;
+    out.merge(windows_[i].latency);
+  }
+  return out;
+}
+
+Json Timeline::to_json() const {
+  Json root = Json::object();
+  root.set("window_us", Json::integer(window_));
+  root.set("ops_ok", Json::uinteger(ops_ok_));
+  root.set("ops_err", Json::uinteger(ops_err_));
+
+  Json wins = Json::array();
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const TimelineWindow& w = windows_[i];
+    const std::uint64_t ok = w.total_ok();
+    const std::uint64_t err = w.total_err();
+    Json jw = Json::object();
+    jw.set("t_us", Json::integer(window_start(i)));
+    jw.set("ok", Json::uinteger(ok));
+    jw.set("err", Json::uinteger(err));
+    if (ok + err != 0) {
+      jw.set("p50_ms", Json::num(w.latency.percentile_us(50) / 1000.0));
+      jw.set("p99_ms", Json::num(w.latency.percentile_us(99) / 1000.0));
+      jw.set("err_rate",
+             Json::num(static_cast<double>(err) /
+                       static_cast<double>(ok + err)));
+      Json by_op = Json::object();
+      for (int o = 0; o < kNumTimelineOps; ++o) {
+        const auto so = static_cast<std::size_t>(o);
+        if (w.ok[so] == 0 && w.err[so] == 0) continue;
+        Json jo = Json::object();
+        jo.set("ok", Json::uinteger(w.ok[so]));
+        jo.set("err", Json::uinteger(w.err[so]));
+        by_op.set(timeline_op_name(static_cast<TimelineOp>(o)),
+                  std::move(jo));
+      }
+      jw.set("by_op", std::move(by_op));
+    } else {
+      // Empty window: explicit nulls, never fabricated zero latencies.
+      jw.set("p50_ms", Json::null());
+      jw.set("p99_ms", Json::null());
+      jw.set("err_rate", Json::null());
+    }
+    wins.push(std::move(jw));
+  }
+  root.set("windows", std::move(wins));
+
+  Json phases = Json::array();
+  for (const FaultPhase& ph : phases_) {
+    Json jp = Json::object();
+    jp.set("fault", Json::str(ph.fault));
+    jp.set("victim", Json::integer(ph.victim));
+    const auto t = [](sim::Time ts) {
+      return ts < 0 ? Json::null() : Json::num(sim::to_ms(ts));
+    };
+    jp.set("injected_ms", t(ph.injected));
+    jp.set("healed_ms", t(ph.healed));
+    jp.set("detected_ms", t(ph.detected));
+    jp.set("detected_by", Json::str(ph.detected_by));
+    jp.set("isolated_ms", t(ph.isolated));
+    jp.set("recovered_ms", t(ph.recovered));
+    jp.set("rejoined_ms", t(ph.rejoined));
+    phases.push(std::move(jp));
+  }
+  root.set("phases", std::move(phases));
+  return root;
+}
+
+void Timeline::chrome_counter_events(std::string& out) const {
+  char buf[256];
+  const auto emit = [&](const char* name, sim::Time ts, double value) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n{\"ph\":\"C\",\"pid\":0,\"name\":\"%s\",\"ts\":%" PRId64
+                  ",\"args\":{\"value\":%.3f}}",
+                  name, ts, value);
+    out += buf;
+  };
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const TimelineWindow& w = windows_[i];
+    const sim::Time ts = window_start(i);
+    emit("timeline.ops_ok", ts, static_cast<double>(w.total_ok()));
+    emit("timeline.ops_err", ts, static_cast<double>(w.total_err()));
+    emit("timeline.p99_ms", ts,
+         w.latency.n() != 0 ? w.latency.percentile_us(99) / 1000.0 : 0.0);
+  }
+}
+
+}  // namespace amoeba::obs

@@ -265,6 +265,10 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
         // report the failure and let the caller decide.
         drop_server(port, server);
         ++mx_timeouts_;
+        // First failure symptom a client can observe: counts as fault
+        // detection on the availability timeline.
+        machine().timeline().signal(obs::Signal::rpc_timeout,
+                                    machine().sim().now());
         return Status::error(Errc::timeout, "rpc timeout");
       }
       try {

@@ -6,6 +6,8 @@
 // must not depend on how much warmup traffic preceded the window.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdlib>
 #include <memory>
@@ -140,6 +142,30 @@ TEST(Summarize, ComputesMeanAndPercentiles) {
   EXPECT_EQ(s.n, 4u);
   EXPECT_DOUBLE_EQ(s.mean, 2.5);
   EXPECT_DOUBLE_EQ(s.p50, 2.5);
+  // Population stddev of {1,2,3,4}: sqrt(5/4).
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(1.25));
+}
+
+// harness::summarize IS obs::summarize_samples (one implementation of
+// percentile/stddev math shared by benches, harness and the timeline
+// layer). Pin the equivalence so the alias never silently forks again.
+TEST(Summarize, IsTheSharedObsImplementation) {
+  const std::vector<double> xs{12.5, 0.25, 7.0, 7.0, 3.5, 99.0, 42.0};
+  const harness::Stats a = harness::summarize(xs);
+  const obs::HistSummary b = obs::summarize_samples(xs);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  // And the percentiles agree with the exact linear-interpolated
+  // definition on the sorted samples.
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(a.p50, obs::percentile(sorted, 50));
+  EXPECT_DOUBLE_EQ(a.p99, obs::percentile(sorted, 99));
 }
 
 // ------------------------------------------------------------------ dev()

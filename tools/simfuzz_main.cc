@@ -43,6 +43,10 @@ struct CliOptions {
   bool leases = false;         // --leases: lease caching (group flavors)
   bool batching = false;       // --batching: sequencer update batching
   std::string schedule;
+  /// --watchdog MS: livelock watchdog threshold in simulated milliseconds
+  /// (0 disables). Default matches FuzzOptions.
+  long watchdog_ms = 10'000;
+  bool debug_stall = false;  // --debug-stall: watchdog self-test
   int shrink_runs = 48;
   /// Where failure artifacts (trace + metrics of the shrunk replay) land;
   /// empty disables the dump.
@@ -56,6 +60,7 @@ void usage(const char* argv0) {
       "          [--clients C] [--keys K] [--steps S] [--schedule STR]\n"
       "          [--faults legacy|all] [--inject-bug] [--shrink-runs N]\n"
       "          [--leases] [--batching] [--dump-dir PATH|none]\n"
+      "          [--watchdog MS] [--debug-stall]\n"
       "flavors: group group_nvram rpc rpc_nvram nfs all\n",
       argv0);
 }
@@ -139,6 +144,12 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       cli.leases = true;
     } else if (a == "--batching") {
       cli.batching = true;
+    } else if (a == "--watchdog") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.watchdog_ms = std::atol(v);
+    } else if (a == "--debug-stall") {
+      cli.debug_stall = true;
     } else if (a == "--shrink-runs") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -169,6 +180,8 @@ bool run_and_report(const CliOptions& cli, harness::Flavor flavor,
   o.legacy_faults = cli.legacy_faults;
   o.lease_caching = cli.leases;
   o.batching = cli.batching;
+  o.watchdog = sim::msec(cli.watchdog_ms);
+  o.debug_stall = cli.debug_stall;
   if (!cli.schedule.empty()) {
     auto sched = check::decode_schedule(cli.schedule);
     if (!sched.is_ok()) {
@@ -190,6 +203,9 @@ bool run_and_report(const CliOptions& cli, harness::Flavor flavor,
   if (r.ok) return true;
 
   std::printf("\nFAILURE: %s\n", r.failure.c_str());
+  if (r.stalled) {
+    std::printf("watchdog stall report:\n%s", r.stall_report.c_str());
+  }
   for (const auto& v : r.lin.violations) {
     std::printf("history of obj %u '%s':\n", v.dir_obj, v.name.c_str());
     for (const auto& ev : r.history) {

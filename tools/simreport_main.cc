@@ -18,10 +18,12 @@
 #include <string>
 #include <vector>
 
+#include "check/nemesis.h"
 #include "dir/client.h"
 #include "dir/group_server.h"
 #include "harness/workload.h"
 #include "obs/critical_path.h"
+#include "obs/slo.h"
 
 namespace {
 
@@ -450,12 +452,127 @@ void run_recovery(std::uint64_t seed, std::string& out) {
   appendf(out, "\n");
 }
 
+/// --slo: availability scoring. One fresh group+NVRAM testbed per nemesis
+/// fault kind, three closed-loop clients, a 2 s healthy baseline, one
+/// injected fault, then a 2 s quiet tail — scored DIR-net style from the
+/// cluster's availability timeline (detect / isolate / recover marks fed
+/// by the protocol layers) and appended both as a human table and, when
+/// `json` is non-null, as one JSON object per fault kind.
+void run_slo(std::uint64_t seed, std::string& out, obs::Json* json) {
+  struct FaultCase {
+    check::FaultStep::Kind kind;
+    double prob;
+  };
+  // Every kind with a machine victim, plus sustained loss: ≥ 4 of these
+  // produce the complete detect -> isolate -> recover timeline the group
+  // protocol promises (loss and storage_crash are the contrast cases — no
+  // membership change, so isolation legitimately stays open).
+  const FaultCase cases[] = {
+      {check::FaultStep::Kind::crash, 0.0},
+      {check::FaultStep::Kind::partition, 0.0},
+      {check::FaultStep::Kind::torn_nvram, 0.0},
+      {check::FaultStep::Kind::crash_recovering, 0.0},
+      {check::FaultStep::Kind::crash_recovering_storage, 0.0},
+      {check::FaultStep::Kind::loss, 0.20},
+      {check::FaultStep::Kind::storage_crash, 0.0},
+  };
+  appendf(out, "--- availability SLO scorecards (group+NVRAM, seed %llu) "
+               "---\n",
+          static_cast<unsigned long long>(seed));
+  for (const FaultCase& fc : cases) {
+    harness::TestbedOptions topts;
+    topts.flavor = harness::Flavor::group_nvram;
+    topts.clients = 3;
+    topts.seed = seed;
+    harness::Testbed bed(topts);
+    if (!bed.wait_ready()) {
+      appendf(out, "  %s: service never became ready\n",
+              check::fault_kind_name(fc.kind));
+      continue;
+    }
+    sim::Simulator& sim = bed.sim();
+    bool stop = false;
+    int started = 0;
+    cap::Capability home;
+    bool setup_ok = false;
+    for (int c = 0; c < 3; ++c) {
+      bed.client(c).spawn("slo" + std::to_string(c), [&, c] {
+        net::Machine& m = bed.client(c);
+        rpc::RpcClient rpc(m);
+        dir::DirClient dc(rpc, bed.dir_port());
+        ++started;
+        if (c == 0) {
+          auto res = dc.create_dir({"c"});
+          for (int i = 0; i < 40 && !res.is_ok(); ++i) {
+            sim.sleep_for(sim::msec(100));
+            res = dc.create_dir({"c"});
+          }
+          if (!res.is_ok()) return;
+          home = *res;
+          setup_ok = true;
+        } else {
+          while (!setup_ok && !stop) sim.sleep_for(sim::msec(50));
+        }
+        auto& rng = m.sim().rng();
+        while (!stop) {
+          const std::string key = "k" + std::to_string(rng.below(8));
+          const std::uint64_t pick = rng.below(100);
+          bool failed = false;
+          if (pick < 40) {
+            failed = !dc.append_row(home, key, {home}).is_ok();
+          } else if (pick < 80) {
+            failed = !dc.lookup(home, key).is_ok();
+          } else {
+            failed = !dc.delete_row(home, key).is_ok();
+          }
+          if (failed) rpc.flush_port_cache(bed.dir_port());
+          sim.sleep_for(static_cast<sim::Duration>(rng.below(20'000)));
+        }
+      });
+    }
+    sim.run_for(sim::sec(2));  // healthy baseline
+    if (!setup_ok) {
+      stop = true;
+      sim.run_for(sim::sec(2));
+      appendf(out, "  %s: workload setup never succeeded\n",
+              check::fault_kind_name(fc.kind));
+      continue;
+    }
+    check::FaultStep step;
+    step.kind = fc.kind;
+    step.victim = 1;
+    step.prob = fc.prob;
+    step.fault = sim::msec(800);
+    step.settle = sim::msec(500);
+    check::run_step(bed, step);
+    // Quiet tail long enough for recovery AND for clients stuck in RPC
+    // timeout backoff to land their post-heal ops in the series.
+    sim.run_for(sim::sec(4));
+    stop = true;
+    sim.run_for(sim::msec(200));
+
+    const obs::SloReport rep = obs::evaluate_slo(bed.timeline());
+    print_slo(rep, out);
+    if (json != nullptr) {
+      obs::Json entry = obs::Json::object();
+      entry.set("fault_kind",
+                obs::Json::str(check::fault_kind_name(fc.kind)));
+      entry.set("slo", obs::slo_json(rep));
+      entry.set("timeline", bed.timeline().to_json());
+      json->push(std::move(entry));
+    }
+  }
+  appendf(out, "\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   int ops = 5;
   std::string out_path;
+  bool slo = false;
+  std::string slo_json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string s = argv[i];
     if (s == "--seed" && i + 1 < argc) {
@@ -464,26 +581,56 @@ int main(int argc, char** argv) {
       ops = std::atoi(argv[++i]);
     } else if (s == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (s == "--slo") {
+      slo = true;
+    } else if (s == "--slo-json" && i + 1 < argc) {
+      slo = true;
+      slo_json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--seed N] [--ops N] [--out PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--ops N] [--out PATH] [--slo] "
+                   "[--slo-json PATH]\n",
                    argv[0]);
       return 2;
     }
   }
 
   std::string out;
-  appendf(out, "amoeba simreport (seed %llu, %d ops per flavor)\n",
-          static_cast<unsigned long long>(seed), ops);
-  appendf(out,
-          "cost model: disk write 40 ms / read 25 ms / data write 24 ms, "
-          "nvram append 0.10 ms\n\n");
-  using harness::Flavor;
-  for (Flavor f : {Flavor::group, Flavor::group_nvram, Flavor::rpc,
-                   Flavor::rpc_nvram, Flavor::nfs}) {
-    run_flavor(f, seed, ops, out);
+  if (slo) {
+    // SLO mode stands alone: the scorecards (and their JSON) are what CI
+    // diffs byte-for-byte across two same-seed runs.
+    appendf(out, "amoeba simreport --slo (seed %llu)\n\n",
+            static_cast<unsigned long long>(seed));
+    obs::Json json = obs::Json::array();
+    run_slo(seed, out, &json);
+    if (!slo_json_path.empty()) {
+      obs::Json root = obs::Json::object();
+      root.set("seed", obs::Json::uinteger(seed));
+      root.set("flavor", obs::Json::str("group_nvram"));
+      root.set("faults", std::move(json));
+      const std::string text = root.dump();
+      std::FILE* f = std::fopen(slo_json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", slo_json_path.c_str());
+        return 1;
+      }
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
+  } else {
+    appendf(out, "amoeba simreport (seed %llu, %d ops per flavor)\n",
+            static_cast<unsigned long long>(seed), ops);
+    appendf(out,
+            "cost model: disk write 40 ms / read 25 ms / data write 24 ms, "
+            "nvram append 0.10 ms\n\n");
+    using harness::Flavor;
+    for (Flavor f : {Flavor::group, Flavor::group_nvram, Flavor::rpc,
+                     Flavor::rpc_nvram, Flavor::nfs}) {
+      run_flavor(f, seed, ops, out);
+    }
+    run_lease_batch(seed, out);
+    run_recovery(seed, out);
   }
-  run_lease_batch(seed, out);
-  run_recovery(seed, out);
 
   std::fwrite(out.data(), 1, out.size(), stdout);
   if (!out_path.empty()) {
