@@ -34,6 +34,10 @@ const char* fault_kind_name(FaultStep::Kind k) {
     case FaultStep::Kind::crash_recovering: return "crash_recovering";
     case FaultStep::Kind::crash_recovering_storage:
       return "crash_recovering_storage";
+    case FaultStep::Kind::slow_disk: return "slow_disk";
+    case FaultStep::Kind::slow_link: return "slow_link";
+    case FaultStep::Kind::slow_replica: return "slow_replica";
+    case FaultStep::Kind::slow_nvram: return "slow_nvram";
   }
   return "unknown";
 }
@@ -46,6 +50,7 @@ NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
   const bool nvram = flavor == harness::Flavor::group_nvram ||
                      flavor == harness::Flavor::rpc_nvram;
   o.allow_torn_nvram = nvram;
+  o.allow_slow_nvram = nvram;
   switch (flavor) {
     case harness::Flavor::group:
     case harness::Flavor::group_nvram:
@@ -64,6 +69,11 @@ NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
       o.allow_loss = false;
       o.allow_storage_crash = false;
       o.allow_crash_recovering = false;
+      // Sustained one-sided slowness times out the two-server peer link
+      // just like loss does, and both halves then commit solo — the
+      // documented divergence. Storage-side slowness is safe.
+      o.allow_slow_link = false;
+      o.allow_slow_replica = false;
       break;
     case harness::Flavor::nfs:
       // Single unreplicated server with no boot-time state reload: a crash
@@ -75,6 +85,11 @@ NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
       o.allow_disk_fault = false;
       o.allow_storage_crash = false;
       o.allow_crash_recovering = false;
+      // No separate storage machine and no replica group: nothing for
+      // the differential detector to compare a slow peer against.
+      o.allow_slow_disk = false;
+      o.allow_slow_link = false;
+      o.allow_slow_replica = false;
       break;
   }
   if (legacy_only) {
@@ -84,6 +99,10 @@ NemesisOptions default_nemesis(harness::Flavor flavor, int nservers,
     o.allow_torn_nvram = false;
     o.allow_storage_crash = false;
     o.allow_crash_recovering = false;
+    o.allow_slow_disk = false;
+    o.allow_slow_link = false;
+    o.allow_slow_replica = false;
+    o.allow_slow_nvram = false;
   }
   return o;
 }
@@ -106,6 +125,12 @@ std::vector<FaultStep> make_schedule(std::uint64_t seed,
     kinds.push_back(FaultStep::Kind::crash_recovering);
     kinds.push_back(FaultStep::Kind::crash_recovering_storage);
   }
+  if (opts.allow_slow_disk) kinds.push_back(FaultStep::Kind::slow_disk);
+  if (opts.allow_slow_link) kinds.push_back(FaultStep::Kind::slow_link);
+  if (opts.allow_slow_replica) {
+    kinds.push_back(FaultStep::Kind::slow_replica);
+  }
+  if (opts.allow_slow_nvram) kinds.push_back(FaultStep::Kind::slow_nvram);
   kinds.push_back(FaultStep::Kind::calm);
 
   std::vector<FaultStep> steps;
@@ -122,6 +147,21 @@ std::vector<FaultStep> make_schedule(std::uint64_t seed,
         break;
       case FaultStep::Kind::disk_fault:
         s.prob = 0.05 + 0.05 * static_cast<double>(rng.below(4));  // ≤ 0.20
+        break;
+      case FaultStep::Kind::slow_disk:
+        s.factor = static_cast<double>(3 + rng.below(6));  // 3x .. 8x
+        break;
+      case FaultStep::Kind::slow_link:
+        // The multiplier scales the ~0.9 ms wire latency, so it must be
+        // large before it shows over per-op CPU time.
+        s.factor = static_cast<double>(10 + rng.below(20));  // 10x .. 29x
+        s.prob = 0.02 * static_cast<double>(rng.below(4));   // loss ≤ 0.06
+        break;
+      case FaultStep::Kind::slow_replica:
+        s.factor = static_cast<double>(4 + rng.below(8));  // 4x .. 11x
+        break;
+      case FaultStep::Kind::slow_nvram:
+        s.factor = static_cast<double>(20 + rng.below(40));  // 20x .. 59x
         break;
       default:
         s.prob = 0.02 + 0.02 * static_cast<double>(rng.below(12));  // ≤ 0.24
@@ -182,6 +222,22 @@ std::string encode_schedule(const std::vector<FaultStep>& steps) {
         std::snprintf(buf, sizeof buf, "J%d/%ld/%ld", s.victim, fault_ms,
                       settle_ms);
         break;
+      case FaultStep::Kind::slow_disk:
+        std::snprintf(buf, sizeof buf, "D%d:%.2f/%ld/%ld", s.victim,
+                      s.factor, fault_ms, settle_ms);
+        break;
+      case FaultStep::Kind::slow_link:
+        std::snprintf(buf, sizeof buf, "L%d:%.2fx%.2f/%ld/%ld", s.victim,
+                      s.factor, s.prob, fault_ms, settle_ms);
+        break;
+      case FaultStep::Kind::slow_replica:
+        std::snprintf(buf, sizeof buf, "C%d:%.2f/%ld/%ld", s.victim,
+                      s.factor, fault_ms, settle_ms);
+        break;
+      case FaultStep::Kind::slow_nvram:
+        std::snprintf(buf, sizeof buf, "N%d:%.2f/%ld/%ld", s.victim,
+                      s.factor, fault_ms, settle_ms);
+        break;
       case FaultStep::Kind::calm:
         std::snprintf(buf, sizeof buf, "q/%ld/%ld", fault_ms, settle_ms);
         break;
@@ -203,13 +259,37 @@ Result<std::vector<FaultStep>> decode_schedule(const std::string& text) {
     FaultStep s;
     char kind = 0;
     double arg = 0;
+    double arg2 = 0;
     int victim = 0;
     long fault_ms = 0, settle_ms = 0;
+    // Explicit "<letter><victim>:<value>" forms first: the generic
+    // "%c%lf" pattern below cannot parse past the ':'.
     if (std::sscanf(tok.c_str(), "f%d:%lf/%ld/%ld", &victim, &arg, &fault_ms,
                     &settle_ms) == 4) {
       s.kind = FaultStep::Kind::disk_fault;
       s.victim = victim;
       s.prob = arg;
+    } else if (std::sscanf(tok.c_str(), "D%d:%lf/%ld/%ld", &victim, &arg,
+                           &fault_ms, &settle_ms) == 4) {
+      s.kind = FaultStep::Kind::slow_disk;
+      s.victim = victim;
+      s.factor = arg;
+    } else if (std::sscanf(tok.c_str(), "L%d:%lfx%lf/%ld/%ld", &victim, &arg,
+                           &arg2, &fault_ms, &settle_ms) == 5) {
+      s.kind = FaultStep::Kind::slow_link;
+      s.victim = victim;
+      s.factor = arg;
+      s.prob = arg2;
+    } else if (std::sscanf(tok.c_str(), "C%d:%lf/%ld/%ld", &victim, &arg,
+                           &fault_ms, &settle_ms) == 4) {
+      s.kind = FaultStep::Kind::slow_replica;
+      s.victim = victim;
+      s.factor = arg;
+    } else if (std::sscanf(tok.c_str(), "N%d:%lf/%ld/%ld", &victim, &arg,
+                           &fault_ms, &settle_ms) == 4) {
+      s.kind = FaultStep::Kind::slow_nvram;
+      s.victim = victim;
+      s.factor = arg;
     } else if (std::sscanf(tok.c_str(), "%c%lf/%ld/%ld", &kind, &arg,
                            &fault_ms, &settle_ms) == 4) {
       switch (kind) {
@@ -281,10 +361,11 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
   const char* kname = fault_kind_name(step.kind);
   sim::Time t_inject = -1;
   std::uint32_t lane = 0;
-  auto inject = [&](std::uint32_t pid, int timeline_victim) {
+  auto inject = [&](std::uint32_t pid, int timeline_victim,
+                    const char* vkind = "server", bool gray = false) {
     t_inject = sim.now();
     lane = pid;
-    tl.fault_injected(kname, timeline_victim, t_inject);
+    tl.fault_injected(kname, timeline_victim, t_inject, vkind, gray);
   };
   auto heal = [&] {
     tl.fault_healed(sim.now());
@@ -356,7 +437,7 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
         break;
       }
       disk::VirtualDisk& d = bed.vdisk(sto_victim);
-      inject(bed.storage(sto_victim).id().v, sto_victim);
+      inject(bed.storage(sto_victim).id().v, sto_victim, "storage");
       d.set_fault_prob(step.prob);
       sim.run_for(step.fault);
       d.set_fault_prob(0.0);
@@ -387,7 +468,7 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
       // persists only a prefix.
       net::Machine& s = bed.storage(sto_victim);
       disk::VirtualDisk& d = bed.vdisk(sto_victim);
-      inject(s.id().v, sto_victim);
+      inject(s.id().v, sto_victim, "storage");
       d.set_torn_writes(true);
       crash_machine(bed, s);
       d.set_torn_writes(false);
@@ -435,6 +516,65 @@ void run_step(harness::Testbed& bed, const FaultStep& step) {
       } else {
         sim.run_for(step.fault);
       }
+      heal();
+      break;
+    }
+    case FaultStep::Kind::slow_disk: {
+      // Fail-slow disk: the victim's spindle serves every op `factor`x
+      // slower. Nothing fails, nothing leaves the membership — only the
+      // health layer's differential latency digests can name the victim.
+      if (sto_victim < 0) {
+        sim.run_for(step.fault);
+        break;
+      }
+      disk::VirtualDisk& d = bed.vdisk(sto_victim);
+      inject(bed.storage(sto_victim).id().v, sto_victim, "storage",
+             /*gray=*/true);
+      d.set_slow_factor(step.factor);
+      sim.run_for(step.fault);
+      d.set_slow_factor(1.0);
+      heal();
+      break;
+    }
+    case FaultStep::Kind::slow_link: {
+      // Fail-slow link: every packet to/from the victim server takes
+      // `factor`x the normal latency and is lost with an extra `prob`
+      // (a flapping transceiver). The victim stays reachable.
+      net::Machine& m = bed.dir_server(victim);
+      inject(m.id().v, victim, "server", /*gray=*/true);
+      bed.cluster().net().set_link_degrade(m.id(), step.factor,
+                                           std::min(0.5, step.prob));
+      sim.run_for(step.fault);
+      bed.cluster().net().clear_link_degrade(m.id());
+      heal();
+      break;
+    }
+    case FaultStep::Kind::slow_replica: {
+      // One slow replica dragging the group: the victim server's CPU
+      // serves every request `factor`x slower, so its replies (and the
+      // group operations it sequences) lag its peers'.
+      net::Machine& m = bed.dir_server(victim);
+      inject(m.id().v, victim, "server", /*gray=*/true);
+      m.cpu().set_drag(step.factor);
+      sim.run_for(step.fault);
+      m.cpu().set_drag(1.0);
+      heal();
+      break;
+    }
+    case FaultStep::Kind::slow_nvram: {
+      // Fail-slow NVRAM: the victim's appends take `factor`x the usual
+      // 100 us — a battery controller stuck refreshing. Only meaningful
+      // on the *_nvram flavors; elsewhere the step degrades to calm.
+      nvram::Nvram* nv = bed.nvram_of(victim);
+      if (nv == nullptr) {
+        sim.run_for(step.fault);
+        break;
+      }
+      inject(bed.dir_server(victim).id().v, victim, "server",
+             /*gray=*/true);
+      nv->set_slow_factor(step.factor);
+      sim.run_for(step.fault);
+      nv->set_slow_factor(1.0);
       heal();
       break;
     }

@@ -39,10 +39,18 @@ struct FaultStep {
     crash_recovering,  // crash victim, restart, crash again mid-recovery
     crash_recovering_storage,  // crash victim, restart, then crash its
                                // storage machine while it is recovering
+    // --- fail-slow (gray) kinds: the victim stays up and in the
+    // membership; only the health layer can name it ---
+    slow_disk,     // victim's storage disk spindle runs `factor`x slower
+    slow_link,     // victim's links: `factor`x latency + `prob` extra loss
+    slow_replica,  // victim server's CPU drags `factor`x (slow replica
+                   // dragging the group — ROADMAP item 5's headline case)
+    slow_nvram,    // victim server's NVRAM appends run `factor`x slower
   };
   Kind kind = Kind::calm;
   int victim = 0;          // directory-server / storage index
   double prob = 0.0;       // loss / dup / reorder / disk_fault probability
+  double factor = 1.0;     // slow_* degradation multiplier (1.0 = healthy)
   sim::Duration fault = sim::msec(800);   // how long the fault is active
   sim::Duration settle = sim::msec(500);  // quiet time after healing
 };
@@ -58,6 +66,10 @@ struct NemesisOptions {
   bool allow_torn_nvram = true;  // only drawn for the *_nvram flavors
   bool allow_storage_crash = true;
   bool allow_crash_recovering = true;
+  bool allow_slow_disk = true;
+  bool allow_slow_link = true;
+  bool allow_slow_replica = true;
+  bool allow_slow_nvram = true;  // only drawn for the *_nvram flavors
   int nservers = 3;
 };
 

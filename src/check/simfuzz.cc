@@ -12,6 +12,7 @@
 #include "dir/group_server.h"
 #include "dir/rpc_server.h"
 #include "harness/testbed.h"
+#include "harness/workload.h"
 #include "obs/json.h"
 
 namespace amoeba::check {
@@ -297,6 +298,7 @@ FuzzReport run_one(const FuzzOptions& opts) {
       if (to.lease_caching) dc.enable_leases();
       RecordingDirClient rec(dc, history, c);
       auto& rng = m.sim().rng();
+      const harness::ZipfPicker zipf(std::max(1, opts.keys), opts.zipf);
 
       if (c == 0) {
         for (int i = 0; i < 200 && !setup_ok && !stop; ++i) {
@@ -318,8 +320,11 @@ FuzzReport run_one(const FuzzOptions& opts) {
         // reports a present-but-empty row as not_found, which would look
         // like a false absence to the checker.
         const std::string key =
-            "k" + std::to_string(rng.below(
-                      static_cast<std::uint64_t>(std::max(1, opts.keys))));
+            "k" + std::to_string(
+                      opts.zipf > 0
+                          ? zipf.pick(rng)
+                          : static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                                std::max(1, opts.keys)))));
         const std::uint64_t pick = rng.below(100);
         bool failed = false;
         if (pick < 34) {
@@ -407,13 +412,19 @@ FuzzReport run_one(const FuzzOptions& opts) {
   bed.cluster().net().set_drop_prob(bed.options().drop_prob);
   bed.cluster().net().set_dup_prob(0.0);
   bed.cluster().net().set_reorder_prob(0.0);
+  bed.cluster().net().clear_link_degrades();
   for (int i = 0; i < bed.num_storage(); ++i) {
     bed.vdisk(i).set_fault_prob(0.0);
     bed.vdisk(i).set_torn_writes(false);
+    bed.vdisk(i).set_slow_factor(1.0);
     if (!bed.storage(i).up()) bed.cluster().restart(bed.storage(i).id());
   }
   for (int i = 0; i < nservers; ++i) {
-    if (nvram::Nvram* nv = bed.nvram_of(i)) nv->set_torn_appends(false);
+    if (nvram::Nvram* nv = bed.nvram_of(i)) {
+      nv->set_torn_appends(false);
+      nv->set_slow_factor(1.0);
+    }
+    bed.dir_server(i).cpu().set_drag(1.0);
     if (!bed.dir_server(i).up()) bed.cluster().restart(bed.dir_server(i).id());
   }
   for (int i = 0; i < 300; ++i) {
@@ -594,6 +605,11 @@ std::string repro_command(const FuzzOptions& opts,
                     std::to_string(opts.clients) + " --keys " +
                     std::to_string(opts.keys);
   if (opts.inject_stale_reads) cmd += " --inject-bug";
+  if (opts.zipf > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " --zipf %.2f", opts.zipf);
+    cmd += buf;
+  }
   if (opts.legacy_faults) cmd += " --faults legacy";
   if (opts.lease_caching) cmd += " --leases";
   if (opts.batching) cmd += " --batching";

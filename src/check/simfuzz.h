@@ -29,6 +29,11 @@ struct FuzzOptions {
   int clients = 3;
   int keys = 8;   // row-name space ("k0".."k{keys-1}") on the home directory
   int steps = 6;  // nemesis steps when `schedule` is empty
+  /// Zipf exponent for key popularity: 0 keeps the historical uniform
+  /// pick; > 0 skews clients toward low-numbered keys (P(k) ~ 1/(k+1)^s),
+  /// concentrating contention on a hot row the way real name lookups do.
+  /// Seed-deterministic either way (one rng draw per pick).
+  double zipf = 0.0;
   /// Debug hook: one replica serves reads without the buffered-messages
   /// barrier (group flavors only). The checker must catch the resulting
   /// stale reads.

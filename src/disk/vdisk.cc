@@ -38,7 +38,7 @@ Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data,
   }
   if (torn_writes_ && !data.empty()) {
     try {
-      spindle_.use(cfg_.write_latency);
+      spindle_.use(slowed(cfg_.write_latency));
     } catch (const sim::ProcessKilled&) {
       // The machine died while the head was writing: a prefix of the new
       // data is on the platter, the rest is whatever was there before the
@@ -53,7 +53,7 @@ Status VirtualDisk::write_block(std::uint32_t block, const Buffer& data,
       throw;
     }
   } else {
-    spindle_.use(cfg_.write_latency);
+    spindle_.use(slowed(cfg_.write_latency));
   }
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   // Commit point: after the latency, atomically. A killed writer never
@@ -72,7 +72,7 @@ Result<Buffer> VirtualDisk::read_block(std::uint32_t block,
   if (block >= cfg_.num_blocks) {
     return Status::error(Errc::io_error, "block out of range");
   }
-  spindle_.use(cfg_.read_latency);
+  spindle_.use(slowed(cfg_.read_latency));
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
   note_io("read", t0, false, ctx);
@@ -85,7 +85,7 @@ Result<Buffer> VirtualDisk::read_block(std::uint32_t block,
 Status VirtualDisk::data_write(obs::TraceContext ctx) {
   const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
-  spindle_.use(cfg_.data_write_latency);
+  spindle_.use(slowed(cfg_.data_write_latency));
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++writes_;
   note_io("data_write", t0, true, ctx);
@@ -95,7 +95,7 @@ Status VirtualDisk::data_write(obs::TraceContext ctx) {
 Status VirtualDisk::data_read(obs::TraceContext ctx) {
   const sim::Time t0 = sim_.now();
   if (failed_) return Status::error(Errc::io_error, "disk failed");
-  spindle_.use(cfg_.read_latency);
+  spindle_.use(slowed(cfg_.read_latency));
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
   note_io("data_read", t0, false, ctx);
@@ -109,7 +109,7 @@ Result<std::vector<std::pair<std::uint32_t, Buffer>>> VirtualDisk::scan(
   // One seek + sequential streaming: ~32 blocks per rotation-equivalent.
   const std::uint32_t span = hi > lo ? hi - lo : 0;
   const sim::Time t0 = sim_.now();
-  spindle_.use(cfg_.read_latency * (1 + span / 32));
+  spindle_.use(slowed(cfg_.read_latency * (1 + span / 32)));
   if (failed_) return Status::error(Errc::io_error, "disk failed");
   ++reads_;
   note_io("scan", t0, false, ctx);

@@ -76,6 +76,13 @@ class VirtualDisk {
   void set_torn_writes(bool on) { torn_writes_ = on; }
   [[nodiscard]] std::uint64_t torn_write_count() const { return torn_; }
 
+  /// Fail-slow injection: every op's spindle occupancy is multiplied by
+  /// `f` — a degraded-but-alive disk (recalibrating heads, a failing
+  /// bearing, SMART remapping storms). 1.0 = healthy. Ops still succeed,
+  /// so nothing fail-stop ever fires; only latency tells the story.
+  void set_slow_factor(double f) { slow_factor_ = f <= 0 ? 1.0 : f; }
+  [[nodiscard]] double slow_factor() const { return slow_factor_; }
+
   /// Instant, non-time-consuming access for recovery bootstrap inspection
   /// in tests (not used by services).
   [[nodiscard]] std::optional<Buffer> peek(std::uint32_t block) const;
@@ -115,6 +122,14 @@ class VirtualDisk {
   void note_io(const char* name, sim::Time t0, bool is_write,
                obs::TraceContext ctx);
 
+  /// Op latency with the fail-slow factor applied.
+  [[nodiscard]] sim::Duration slowed(sim::Duration d) const {
+    return slow_factor_ == 1.0
+               ? d
+               : static_cast<sim::Duration>(static_cast<double>(d) *
+                                            slow_factor_);
+  }
+
   sim::Simulator& sim_;
   DiskConfig cfg_;
   sim::FifoResource spindle_;
@@ -122,6 +137,7 @@ class VirtualDisk {
   bool failed_ = false;
   double fault_prob_ = 0.0;
   bool torn_writes_ = false;
+  double slow_factor_ = 1.0;
   std::uint64_t torn_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;

@@ -136,6 +136,21 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), dir_port_(kDirPort) {
   for (int i = 0; i < opts.clients; ++i) {
     clients_.push_back(&cluster_->add_machine("cli" + std::to_string(i)));
   }
+
+  // Health-detector peer groups: directory servers are scored against
+  // each other, storage machines against each other. Observations flow
+  // in from every RpcClient (clients -> dir servers, dir servers ->
+  // their storage). nfs registers nothing: a lone server has no sibling
+  // to differ from, and the monitor stays a single-branch no-op.
+  if (opts.flavor != Flavor::nfs) {
+    obs::HealthMonitor& hm = cluster_->health();
+    for (std::size_t i = 0; i < dir_servers_.size(); ++i) {
+      hm.add_peer(dir_servers_[i]->id().v, "server", static_cast<int>(i));
+    }
+    for (std::size_t i = 0; i < storage_.size(); ++i) {
+      hm.add_peer(storage_[i]->id().v, "storage", static_cast<int>(i));
+    }
+  }
 }
 
 disk::VirtualDisk& Testbed::vdisk(int i) {

@@ -12,6 +12,7 @@
 // measurement window (Figs. 8 and 9).
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <vector>
 
@@ -19,6 +20,47 @@
 #include "obs/metrics.h"
 
 namespace amoeba::harness {
+
+/// Zipfian key-popularity picker: pick(rng) returns an index in [0, n)
+/// with P(k) proportional to 1/(k+1)^s. s == 0 degenerates to uniform; the
+/// classic "hot directory entry" skew is s around 0.8-1.2. Deterministic:
+/// one rng draw per pick, CDF precomputed at construction, so same-seed
+/// runs pick identical key sequences.
+class ZipfPicker {
+ public:
+  ZipfPicker(int n, double s) : cdf_(static_cast<std::size_t>(n < 1 ? 1 : n)) {
+    double total = 0;
+    for (std::size_t k = 0; k < cdf_.size(); ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  template <typename Prng>
+  int pick(Prng& rng) const {
+    // 53-bit uniform in [0,1): cheap, and plenty of resolution for a CDF
+    // over at most a few thousand keys.
+    const double u =
+        static_cast<double>(rng.below(1ull << 53)) / static_cast<double>(1ull << 53);
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(lo);
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(key <= k), cdf_.back() == 1
+};
 
 struct LatencyResult {
   double append_delete_ms = 0;  // one append+delete pair

@@ -33,6 +33,7 @@ Network& Machine::net() { return cluster_.net(); }
 obs::Metrics& Machine::metrics() { return cluster_.metrics(); }
 obs::Trace& Machine::trace() { return cluster_.trace(); }
 obs::Timeline& Machine::timeline() { return cluster_.timeline(); }
+obs::HealthMonitor& Machine::health() { return cluster_.health(); }
 
 void Machine::reap_finished() {
   std::erase_if(live_, [](sim::Process* p) { return p->finished(); });

@@ -15,6 +15,7 @@
 
 #include "net/network.h"
 #include "net/packet.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -81,6 +82,7 @@ class Machine {
   obs::Metrics& metrics();
   obs::Trace& trace();
   obs::Timeline& timeline();
+  obs::HealthMonitor& health();
   sim::FifoResource& cpu() { return cpu_; }
 
   /// Spawn a process that dies with the machine. Only valid while up.
@@ -171,6 +173,7 @@ class Cluster {
   obs::Metrics& metrics() { return metrics_; }
   obs::Trace& trace() { return trace_; }
   obs::Timeline& timeline() { return timeline_; }
+  obs::HealthMonitor& health() { return health_; }
 
   /// Toggle trace recording cluster-wide. The Trace object stays attached
   /// (layers keep their pointer); recording just becomes a predicted-false
@@ -184,6 +187,9 @@ class Cluster {
   obs::Metrics metrics_;
   obs::Trace trace_;
   obs::Timeline timeline_;
+  // Differential peer-health detector; feeds suspicions back into the
+  // timeline's fault phases (declared after it, constructed with it).
+  obs::HealthMonitor health_{obs::HealthConfig{}, &timeline_};
   Network net_;
   std::vector<std::unique_ptr<Machine>> machines_;
 };

@@ -111,6 +111,15 @@ void Network::resolve_wire(std::uint64_t wire) {
   if (--w.remaining == 0 && w.send_done) finalize_wire(wire);
 }
 
+void Network::set_link_degrade(MachineId m, double latency_mult,
+                               double extra_drop) {
+  LinkDegrade& d = degraded_[m.v];
+  d.latency_mult = latency_mult < 1.0 ? 1.0 : latency_mult;
+  d.extra_drop = extra_drop < 0 ? 0.0 : extra_drop;
+}
+
+void Network::clear_link_degrade(MachineId m) { degraded_.erase(m.v); }
+
 void Network::deliver_one(MachineId src, MachineId dst, Port port,
                           Buffer payload, std::uint32_t size,
                           obs::TraceContext pkt_ctx, std::uint64_t wire) {
@@ -120,7 +129,28 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
     if (tr_ != nullptr) tr_->instant(sim_.now(), "net", "drop_loss", dst.v);
     return;
   }
+  // Fail-slow link degradation: the worse endpoint's multiplier and loss
+  // probability govern the packet. Healthy runs never reach the lookups.
+  double lat_mult = 1.0;
+  if (!degraded_.empty()) {
+    double extra_drop = 0.0;
+    for (const std::uint32_t end : {src.v, dst.v}) {
+      const auto it = degraded_.find(end);
+      if (it == degraded_.end()) continue;
+      lat_mult = std::max(lat_mult, it->second.latency_mult);
+      extra_drop = std::max(extra_drop, it->second.extra_drop);
+    }
+    if (extra_drop > 0 && sim_.rng().uniform() < extra_drop) {
+      stats_.dropped_loss++;
+      if (mx_dropped_loss_ != nullptr) (*mx_dropped_loss_)++;
+      if (tr_ != nullptr) tr_->instant(sim_.now(), "net", "drop_loss", dst.v);
+      return;
+    }
+  }
   sim::Duration lat = latency(size);
+  if (lat_mult != 1.0) {
+    lat = static_cast<sim::Duration>(static_cast<double>(lat) * lat_mult);
+  }
   // Reordering: hold this delivery back several base-latencies so later
   // packets on the same path overtake it.
   if (cfg_.reorder_prob > 0 && sim_.rng().uniform() < cfg_.reorder_prob) {
@@ -134,8 +164,12 @@ void Network::deliver_one(MachineId src, MachineId dst, Port port,
   if (cfg_.dup_prob > 0 && sim_.rng().uniform() < cfg_.dup_prob) {
     stats_.duplicated++;
     if (mx_duplicated_ != nullptr) (*mx_duplicated_)++;
-    schedule_delivery(src, dst, port, payload,
-                      latency(size) + cfg_.base_latency * 3, pkt_ctx, wire);
+    sim::Duration dup_lat = latency(size) + cfg_.base_latency * 3;
+    if (lat_mult != 1.0) {
+      dup_lat =
+          static_cast<sim::Duration>(static_cast<double>(dup_lat) * lat_mult);
+    }
+    schedule_delivery(src, dst, port, payload, dup_lat, pkt_ctx, wire);
   }
   schedule_delivery(src, dst, port, std::move(payload), lat, pkt_ctx, wire);
 }

@@ -126,7 +126,24 @@ class Network {
   /// base-latencies, so packets sent later overtake it.
   void set_reorder_prob(double p) { cfg_.reorder_prob = p; }
 
+  /// Fail-slow injection: degrade every link touching `m` — packets to or
+  /// from it take `latency_mult` times the normal latency and are
+  /// additionally lost with probability `extra_drop`. A flapping
+  /// transceiver or an overloaded switch port: the machine stays up and
+  /// in the membership, only its traffic suffers. When both endpoints of
+  /// a packet are degraded the worse multiplier/loss applies.
+  void set_link_degrade(MachineId m, double latency_mult, double extra_drop);
+  void clear_link_degrade(MachineId m);
+  void clear_link_degrades() { degraded_.clear(); }
+  [[nodiscard]] bool link_degraded() const { return !degraded_.empty(); }
+
  private:
+  /// Per-machine link degradation (fail-slow injection).
+  struct LinkDegrade {
+    double latency_mult = 1.0;
+    double extra_drop = 0.0;
+  };
+
   /// In-flight network span for one wire packet. `remaining` counts
   /// scheduled deliveries (including dup copies) not yet resolved; the
   /// span is recorded once `send_done && remaining == 0`, with duration
@@ -166,6 +183,9 @@ class Network {
   NetConfig cfg_;
   /// Per-segment partition state; empty outer vector entry = no partition.
   std::vector<std::vector<std::vector<MachineId>>> seg_groups_;
+  /// Degraded machines (fail-slow). Empty in healthy runs, so the hot
+  /// delivery path pays one branch and no RNG draws.
+  std::unordered_map<std::uint32_t, LinkDegrade> degraded_;
   NetStats stats_;
   /// Cluster-wide observability (owned by the Cluster). Null only when a
   /// Network is built standalone in a unit test.

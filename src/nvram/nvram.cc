@@ -15,9 +15,14 @@ Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data,
     if (mx_full_rejects_ != nullptr) (*mx_full_rejects_)++;
     return Status::error(Errc::full, "nvram full");
   }
+  const sim::Duration lat =
+      slow_factor_ == 1.0
+          ? cfg_.write_latency
+          : static_cast<sim::Duration>(
+                static_cast<double>(cfg_.write_latency) * slow_factor_);
   if (torn_appends_ && !data.empty()) {
     try {
-      sim_.sleep_for(cfg_.write_latency);
+      sim_.sleep_for(lat);
     } catch (const sim::ProcessKilled&) {
       // Crash mid-copy: the battery preserves however many bytes made it.
       const auto keep = static_cast<std::size_t>(sim_.rng().below(data.size()));
@@ -32,7 +37,7 @@ Result<std::uint64_t> Nvram::append(std::uint64_t tag, Buffer data,
       throw;
     }
   } else {
-    sim_.sleep_for(cfg_.write_latency);
+    sim_.sleep_for(lat);
   }
   Record rec;
   rec.id = next_id_++;

@@ -50,6 +50,11 @@ class Nvram {
   void set_torn_appends(bool on) { torn_appends_ = on; }
   [[nodiscard]] std::uint64_t torn_append_count() const { return torn_; }
 
+  /// Fail-slow injection: appends take `f` times the configured latency
+  /// (a battery controller in a refresh loop). 1.0 = healthy.
+  void set_slow_factor(double f) { slow_factor_ = f <= 0 ? 1.0 : f; }
+  [[nodiscard]] double slow_factor() const { return slow_factor_; }
+
   /// Fault injection / test hook: truncate the newest record's payload to
   /// `keep_bytes`, as a crash mid-append would. No-op on an empty log or
   /// when the tail is already that short. Returns true when it truncated.
@@ -103,6 +108,7 @@ class Nvram {
   std::deque<Record> log_;
   std::size_t used_ = 0;
   bool torn_appends_ = false;
+  double slow_factor_ = 1.0;
   std::uint64_t torn_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t appends_ = 0;

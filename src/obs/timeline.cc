@@ -3,6 +3,7 @@
 #include <bit>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 namespace amoeba::obs {
 
@@ -113,10 +114,13 @@ void Timeline::record(TimelineOp op, sim::Time start, sim::Time end,
   }
 }
 
-void Timeline::fault_injected(const char* fault, int victim, sim::Time ts) {
+void Timeline::fault_injected(const char* fault, int victim, sim::Time ts,
+                              const char* victim_kind, bool gray) {
   FaultPhase ph;
   ph.fault = fault;
   ph.victim = victim;
+  ph.victim_kind = victim_kind;
+  ph.gray = gray;
   ph.injected = ts;
   phases_.push_back(ph);
 }
@@ -130,6 +134,11 @@ void Timeline::signal(Signal s, sim::Time ts) {
   if (phases_.empty()) return;
   FaultPhase& ph = phases_.back();
   if (ts < ph.injected) return;
+  // A gray fault changes no membership and kills no machine: suspicions,
+  // view installs and stray timeouts during one are coincidence, not
+  // detection. Only health_suspect() (and the first-ok-op recovery close
+  // in record()) resolves a gray phase.
+  if (ph.gray) return;
   switch (s) {
     case Signal::suspicion:
     case Signal::view_install:
@@ -159,6 +168,20 @@ void Timeline::signal(Signal s, sim::Time ts) {
       }
       break;
   }
+}
+
+void Timeline::health_suspect(const char* group, int index, sim::Time ts,
+                              bool confirmed) {
+  if (phases_.empty()) return;
+  FaultPhase& ph = phases_.back();
+  if (ts < ph.injected) return;
+  if (std::strcmp(ph.victim_kind, group) != 0) return;
+  if (ph.victim >= 0 && ph.victim != index) return;
+  if (ph.detected < 0) {
+    ph.detected = ts;
+    ph.detected_by = "health";
+  }
+  if (confirmed && ph.isolated < 0 && ts >= ph.detected) ph.isolated = ts;
 }
 
 LogHistogram Timeline::merged_latency() const {
@@ -224,6 +247,8 @@ Json Timeline::to_json() const {
     Json jp = Json::object();
     jp.set("fault", Json::str(ph.fault));
     jp.set("victim", Json::integer(ph.victim));
+    jp.set("victim_kind", Json::str(ph.victim_kind));
+    jp.set("gray", Json::boolean(ph.gray));
     const auto t = [](sim::Time ts) {
       return ts < 0 ? Json::null() : Json::num(sim::to_ms(ts));
     };

@@ -106,6 +106,14 @@ enum class Signal : std::uint8_t {
 struct FaultPhase {
   const char* fault = "";  // static fault-kind token ("crash", "loss", ...)
   int victim = -1;         // server index, -1 for cluster-wide faults
+  /// What `victim` indexes: "server" (directory replica) or "storage"
+  /// (storage-server machine). Health suspicions carry the same tag, so
+  /// a suspicion only resolves a phase whose victim it actually names.
+  const char* victim_kind = "server";
+  /// Fail-slow (gray) fault: the victim stays up and in the membership,
+  /// so membership/timeout signals are noise, not detection — only
+  /// health-layer suspicions resolve detected/isolated on a gray phase.
+  bool gray = false;
   sim::Time injected = -1;
   sim::Time healed = -1;
   sim::Time detected = -1;
@@ -152,12 +160,24 @@ class Timeline {
   void record(TimelineOp op, sim::Time start, sim::Time end, bool ok);
 
   // --- fault-phase stream ---------------------------------------------
-  /// `fault` must be a string literal / static string.
-  void fault_injected(const char* fault, int victim, sim::Time ts);
+  /// `fault` must be a string literal / static string. `victim_kind`
+  /// tags what `victim` indexes ("server" / "storage"); `gray` marks a
+  /// fail-slow fault whose detection must come from the health layer.
+  void fault_injected(const char* fault, int victim, sim::Time ts,
+                      const char* victim_kind = "server", bool gray = false);
   void fault_healed(sim::Time ts);
   /// Raw protocol signal; resolves detected/isolated/recovered on the
-  /// open fault phase. A few branches when no fault is open.
+  /// open fault phase. A few branches when no fault is open. Membership
+  /// and timeout signals never resolve a gray phase (see FaultPhase).
   void signal(Signal s, sim::Time ts);
+  /// Differential health-detector suspicion of peer `index` in peer
+  /// group `group` ("server"/"storage"). Resolves `detected`
+  /// (detected_by="health") on the open phase when the suspect matches
+  /// the phase victim; a confirmed suspicion also resolves `isolated`
+  /// (the detector pinned the fault to one replica — the DIR-net
+  /// isolation step for a fault no membership change will ever name).
+  void health_suspect(const char* group, int index, sim::Time ts,
+                      bool confirmed);
 
   [[nodiscard]] const std::vector<FaultPhase>& phases() const {
     return phases_;

@@ -255,6 +255,9 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
     ++mx_packets_;
     machine_.net().unicast(machine_.id(), server, port, w.take(), tctx,
                            "request");
+    // Per-attempt send time: the health digests want this server's
+    // round-trip, not the transaction total with its locate/backoff legs.
+    const sim::Time t_send = sim.now();
 
     // 3. Wait for the reply (or NOTHERE / timeout).
     while (true) {
@@ -266,9 +269,12 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
         drop_server(port, server);
         ++mx_timeouts_;
         // First failure symptom a client can observe: counts as fault
-        // detection on the availability timeline.
+        // detection on the availability timeline, and as an error
+        // observation in this server's health digest.
         machine().timeline().signal(obs::Signal::rpc_timeout,
                                     machine().sim().now());
+        machine().health().observe(machine_.id().v, server.v, 0,
+                                   /*ok=*/false, sim.now());
         return Status::error(Errc::timeout, "rpc timeout");
       }
       try {
@@ -282,6 +288,11 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
         if (rxid != xid) continue;  // stale reply from an older transaction
         if (type == MsgType::nothere) {
           // Safe to fail over: the request was never queued server-side.
+          // A refusal is still health evidence -- a server whose threads
+          // are all busy is degraded even though it answers promptly, so
+          // feed it to the error digest before moving on.
+          machine().health().observe(machine_.id().v, server.v, 0,
+                                     /*ok=*/false, sim.now());
           drop_server(port, server);
           ++mx_failovers_;
           if (++failovers > opts.max_failovers) {
@@ -298,6 +309,11 @@ Result<Buffer> RpcClient::trans(Port port, Buffer request, TransOptions opts,
           mx_packets_ += 2;  // reply + piggybacked ack
           ++mx_transactions_;
           mx_trans_ms_.push_back(sim::to_ms(sim.now() - t0));
+          // Feed the differential peer-health telemetry with this
+          // server's per-attempt round trip.
+          machine().health().observe(machine_.id().v, server.v,
+                                     sim.now() - t_send, /*ok=*/true,
+                                     sim.now());
           if (sp != 0) {
             // The piggybacked ack never crosses the wire as its own packet
             // in this repro (rpc.h); record it as a zero-length network

@@ -131,6 +131,15 @@ class RpcClient {
   /// Forget everything learned about `port` (tests / failover experiments).
   void flush_port_cache(Port port);
 
+  /// Seed the port cache with a preferred server, as if it had answered
+  /// a locate first. Harnesses use this to spread clients across replicas
+  /// (an un-seeded fleet tends to elect one fastest first-responder), so
+  /// the differential health detector gets an observer per server. Normal
+  /// failover still applies: a timeout drops the seeded choice.
+  void prefer_server(Port port, MachineId server) {
+    note_hereis(port, server);
+  }
+
   /// Sticky server currently chosen for a port, if any.
   [[nodiscard]] std::optional<MachineId> current_server(Port port) const;
 

@@ -43,6 +43,9 @@ void FifoResource::use(Duration d) {
       r->grant_next();
     }
   } release{this};
+  if (drag_ != 1.0) {
+    d = static_cast<Duration>(static_cast<double>(d) * drag_);
+  }
   ops_++;
   busy_time_ += d;
   sim_.sleep_for(d);

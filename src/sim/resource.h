@@ -36,6 +36,13 @@ class FifoResource {
     busy_time_ = 0;
   }
 
+  /// Fail-slow injection: every use() occupies the resource for
+  /// `factor` times the requested duration (a thermally-throttled CPU, a
+  /// spindle with a dying bearing). 1.0 = healthy. The slowdown applies
+  /// at grant time, so already-queued waiters feel it too.
+  void set_drag(double factor) { drag_ = factor <= 0 ? 1.0 : factor; }
+  [[nodiscard]] double drag() const { return drag_; }
+
  private:
   struct Ticket {
     std::uint64_t id;
@@ -49,6 +56,7 @@ class FifoResource {
   WaitQueue wq_;
   std::deque<Ticket*, PoolAllocator<Ticket*>> waiters_;
   bool busy_ = false;
+  double drag_ = 1.0;
   std::uint64_t next_ticket_ = 0;
   std::uint64_t ops_ = 0;
   Duration busy_time_ = 0;

@@ -38,6 +38,7 @@ struct CliOptions {
   int clients = 3;
   int keys = 8;
   int steps = 6;
+  double zipf = 0.0;  // --zipf S: Zipfian key popularity (0 = uniform)
   bool inject_bug = false;
   bool legacy_faults = false;  // --faults legacy
   bool leases = false;         // --leases: lease caching (group flavors)
@@ -57,7 +58,7 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--flavor NAME|all] [--seeds N] [--seed-base B] [--seed S]\n"
-      "          [--clients C] [--keys K] [--steps S] [--schedule STR]\n"
+      "          [--clients C] [--keys K] [--zipf S] [--steps S] [--schedule STR]\n"
       "          [--faults legacy|all] [--inject-bug] [--shrink-runs N]\n"
       "          [--leases] [--batching] [--dump-dir PATH|none]\n"
       "          [--watchdog MS] [--debug-stall]\n"
@@ -111,6 +112,14 @@ bool parse_args(int argc, char** argv, CliOptions& cli) {
       const char* v = next();
       if (v == nullptr) return false;
       cli.keys = std::atoi(v);
+    } else if (a == "--zipf") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      cli.zipf = std::strtod(v, nullptr);
+      if (cli.zipf < 0) {
+        std::fprintf(stderr, "--zipf takes a nonnegative exponent\n");
+        return false;
+      }
     } else if (a == "--steps" || a == "--rounds") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -175,6 +184,7 @@ bool run_and_report(const CliOptions& cli, harness::Flavor flavor,
   o.seed = seed;
   o.clients = cli.clients;
   o.keys = cli.keys;
+  o.zipf = cli.zipf;
   o.steps = cli.steps;
   o.inject_stale_reads = cli.inject_bug;
   o.legacy_faults = cli.legacy_faults;

@@ -20,12 +20,34 @@
 
 #include "check/nemesis.h"
 #include "dir/client.h"
-#include "dir/group_server.h"
 #include "harness/workload.h"
 #include "obs/critical_path.h"
 #include "obs/slo.h"
 
 namespace {
+
+/// True when a client-visible failure indicates sick infrastructure rather
+/// than a semantic negative (not_found on a random key is successful
+/// service). Only infrastructure failures make a workload client abandon
+/// its pinned replica -- flushing on every negative would re-elect the
+/// fastest first-responder and strip the health detector of its vantage
+/// on the slow peer.
+bool infra_failure(const amoeba::Status& st) {
+  using amoeba::Errc;
+  switch (st.code()) {
+    case Errc::timeout:
+    case Errc::unreachable:
+    case Errc::refused:
+    case Errc::no_majority:
+    case Errc::group_failure:
+    case Errc::io_error:
+    case Errc::aborted:
+    case Errc::internal:
+      return true;
+    default:
+      return false;
+  }
+}
 
 using namespace amoeba;
 
@@ -462,11 +484,22 @@ void run_slo(std::uint64_t seed, std::string& out, obs::Json* json) {
   struct FaultCase {
     check::FaultStep::Kind kind;
     double prob;
+    double factor = 1.0;                  // slow_* degradation multiplier
+    sim::Duration fault = sim::msec(800); // fault window
+    harness::Flavor flavor = harness::Flavor::group_nvram;
   };
   // Every kind with a machine victim, plus sustained loss: ≥ 4 of these
   // produce the complete detect -> isolate -> recover timeline the group
   // protocol promises (loss and storage_crash are the contrast cases — no
-  // membership change, so isolation legitimately stays open).
+  // membership change, so isolation legitimately stays open). The gray
+  // (fail-slow) kinds get a longer window: their only detector is the
+  // differential health layer, which needs a few digest halflives plus a
+  // confirming evaluation before it may name the victim. Their knobs are
+  // sized to the simulated hardware: the link multiplier scales the
+  // ~0.9 ms wire latency (so it must be large to show over 3-4 ms of CPU
+  // per op), the NVRAM multiplier scales a 100 us append, and slow_disk
+  // runs the plain group flavor — with NVRAM in front, a slow spindle is
+  // exactly the degradation the paper's design hides.
   const FaultCase cases[] = {
       {check::FaultStep::Kind::crash, 0.0},
       {check::FaultStep::Kind::partition, 0.0},
@@ -475,13 +508,21 @@ void run_slo(std::uint64_t seed, std::string& out, obs::Json* json) {
       {check::FaultStep::Kind::crash_recovering_storage, 0.0},
       {check::FaultStep::Kind::loss, 0.20},
       {check::FaultStep::Kind::storage_crash, 0.0},
+      {check::FaultStep::Kind::slow_disk, 0.0, 8.0, sim::msec(2500),
+       harness::Flavor::group},
+      // Pure-latency link fault: extra loss would make the victim's
+      // pinned observer time out and fail over to a healthy replica,
+      // abandoning the vantage point before the digest can convict.
+      {check::FaultStep::Kind::slow_link, 0.0, 40.0, sim::msec(2500)},
+      {check::FaultStep::Kind::slow_replica, 0.0, 8.0, sim::msec(2500)},
+      {check::FaultStep::Kind::slow_nvram, 0.0, 400.0, sim::msec(2500)},
   };
   appendf(out, "--- availability SLO scorecards (group+NVRAM, seed %llu) "
                "---\n",
           static_cast<unsigned long long>(seed));
   for (const FaultCase& fc : cases) {
     harness::TestbedOptions topts;
-    topts.flavor = harness::Flavor::group_nvram;
+    topts.flavor = fc.flavor;
     topts.clients = 3;
     topts.seed = seed;
     harness::Testbed bed(topts);
@@ -495,10 +536,20 @@ void run_slo(std::uint64_t seed, std::string& out, obs::Json* json) {
     int started = 0;
     cap::Capability home;
     bool setup_ok = false;
+    const bool gray = fc.kind == check::FaultStep::Kind::slow_disk ||
+                      fc.kind == check::FaultStep::Kind::slow_link ||
+                      fc.kind == check::FaultStep::Kind::slow_replica ||
+                      fc.kind == check::FaultStep::Kind::slow_nvram;
     for (int c = 0; c < 3; ++c) {
       bed.client(c).spawn("slo" + std::to_string(c), [&, c] {
         net::Machine& m = bed.client(c);
         rpc::RpcClient rpc(m);
+        // Seed the port cache so client c starts on replica c. Locate
+        // broadcasts tend to elect one fastest first-responder for every
+        // client; spreading the observers is what gives the differential
+        // health detector an opinion about *each* server.
+        rpc.prefer_server(bed.dir_port(),
+                        bed.dir_server(c % bed.num_dir_servers()).id());
         dir::DirClient dc(rpc, bed.dir_port());
         ++started;
         if (c == 0) {
@@ -517,18 +568,52 @@ void run_slo(std::uint64_t seed, std::string& out, obs::Json* json) {
         while (!stop) {
           const std::string key = "k" + std::to_string(rng.below(8));
           const std::uint64_t pick = rng.below(100);
-          bool failed = false;
+          Status st;
           if (pick < 40) {
-            failed = !dc.append_row(home, key, {home}).is_ok();
+            st = dc.append_row(home, key, {home});
           } else if (pick < 80) {
-            failed = !dc.lookup(home, key).is_ok();
+            st = dc.lookup(home, key).status();
           } else {
-            failed = !dc.delete_row(home, key).is_ok();
+            st = dc.delete_row(home, key);
           }
-          if (failed) rpc.flush_port_cache(bed.dir_port());
+          if (infra_failure(st)) rpc.flush_port_cache(bed.dir_port());
           sim.sleep_for(static_cast<sim::Duration>(rng.below(20'000)));
         }
       });
+    }
+    // Gray faults degrade without failing, so detection lives or dies by
+    // observation coverage: a replica nobody talks to cannot be scored.
+    // Each client runs a low-rate prober dedicated to its vantage replica
+    // (DIR-Net-style active monitoring). Re-seeding the cache before every
+    // probe undoes trans()'s silent NOTHERE failover, so a saturated
+    // replica keeps producing refusal (error) observations and a slow one
+    // keeps producing inflated round-trips. Separate RpcClient: probers
+    // must not share a reply mailbox with the workload loop.
+    if (gray) {
+      // Two probers per vantage: a heavily dragged replica answers each
+      // probe in hundreds of ms, and one prober's cadence (bounded by its
+      // own round trip) would leave the victim's digest below the
+      // detector's qualifying weight exactly when it matters.
+      for (int c = 0; c < 3; ++c) {
+        for (int pr = 0; pr < 2; ++pr) {
+          bed.client(c).spawn(
+              "probe" + std::to_string(c) + "_" + std::to_string(pr),
+              [&, c] {
+                net::Machine& m = bed.client(c);
+                rpc::RpcClient prpc(m);
+                dir::DirClient pdc(prpc, bed.dir_port());
+                const net::MachineId vantage =
+                    bed.dir_server(c % bed.num_dir_servers()).id();
+                while (!setup_ok && !stop) sim.sleep_for(sim::msec(50));
+                while (!stop) {
+                  prpc.flush_port_cache(bed.dir_port());
+                  prpc.prefer_server(bed.dir_port(), vantage);
+                  (void)pdc.lookup(home, "k0");
+                  sim.sleep_for(sim::msec(50));
+                }
+              });
+        }
+      }
     }
     sim.run_for(sim::sec(2));  // healthy baseline
     if (!setup_ok) {
@@ -542,7 +627,8 @@ void run_slo(std::uint64_t seed, std::string& out, obs::Json* json) {
     step.kind = fc.kind;
     step.victim = 1;
     step.prob = fc.prob;
-    step.fault = sim::msec(800);
+    step.factor = fc.factor;
+    step.fault = fc.fault;
     step.settle = sim::msec(500);
     check::run_step(bed, step);
     // Quiet tail long enough for recovery AND for clients stuck in RPC
@@ -553,14 +639,203 @@ void run_slo(std::uint64_t seed, std::string& out, obs::Json* json) {
 
     const obs::SloReport rep = obs::evaluate_slo(bed.timeline());
     print_slo(rep, out);
+
+    // Health-detector verdict for this fault. The victim of slow_disk /
+    // storage_crash lives in the "storage" peer group; every other kind
+    // names a directory server. A suspicion transition not naming the
+    // victim is a false suspicion (single-fault run).
+    const char* vgroup =
+        (fc.kind == check::FaultStep::Kind::slow_disk ||
+         fc.kind == check::FaultStep::Kind::storage_crash)
+            ? "storage"
+            : "server";
+    const obs::HealthMonitor& hm = bed.cluster().health();
+    bool detected_by_health = false;
+    for (const obs::FaultScore& fs : rep.faults) {
+      if (fs.phase.detected >= 0 &&
+          std::strcmp(fs.phase.detected_by, "health") == 0) {
+        detected_by_health = true;
+      }
+    }
+    const std::uint64_t suspects = hm.suspect_transitions();
+    // slow_disk and slow_link surface at both layers: a slow spindle
+    // inflates dir1's storage RPCs AND server1's own replies (it blocks
+    // on that spindle); a degraded link inflates everything crossing it,
+    // including dir1's view of its private storage. A suspicion naming
+    // either index-1 peer correctly names the fault.
+    std::uint64_t victim_suspects = hm.suspects_of(vgroup, step.victim);
+    if (fc.kind == check::FaultStep::Kind::slow_disk) {
+      victim_suspects += hm.suspects_of("server", step.victim);
+    }
+    if (fc.kind == check::FaultStep::Kind::slow_link) {
+      victim_suspects += hm.suspects_of("storage", step.victim);
+    }
+    if (gray) {
+      appendf(out,
+              "    health: %s; %llu suspicion transitions, %llu naming the "
+              "victim (%s%d)\n",
+              detected_by_health ? "victim named by differential detector"
+                                 : "victim NOT detected",
+              static_cast<unsigned long long>(suspects),
+              static_cast<unsigned long long>(victim_suspects), vgroup,
+              step.victim);
+      for (const obs::HealthEvent& e : hm.events()) {
+        appendf(out,
+                "      t=%9.1f ms  %-7s %s%d %-8s score %8.3f baseline "
+                "%8.3f\n",
+                sim::to_ms(e.ts), e.what, e.group, e.peer, e.dimension,
+                e.score, e.baseline);
+      }
+    }
     if (json != nullptr) {
       obs::Json entry = obs::Json::object();
       entry.set("fault_kind",
                 obs::Json::str(check::fault_kind_name(fc.kind)));
       entry.set("slo", obs::slo_json(rep));
+      obs::Json health = obs::Json::object();
+      health.set("gray", obs::Json::boolean(gray));
+      health.set("detected", obs::Json::boolean(detected_by_health));
+      health.set("suspects", obs::Json::uinteger(suspects));
+      health.set("false_suspects",
+                 obs::Json::uinteger(suspects - victim_suspects));
+      health.set("events",
+                 obs::Json::uinteger(hm.events().size()));
+      entry.set("health", std::move(health));
       entry.set("timeline", bed.timeline().to_json());
       json->push(std::move(entry));
     }
+  }
+  appendf(out, "\n");
+}
+
+/// --health: one gray fault under the magnifying glass. Run the group+NVRAM
+/// flavor with one pinned observer per replica, drag replica 1's CPU for a
+/// while, and print the per-peer health score table plus the detector's
+/// full suspect / confirm / clear event log.
+void run_health(std::uint64_t seed, std::string& out) {
+  harness::TestbedOptions topts;
+  topts.flavor = harness::Flavor::group_nvram;
+  topts.clients = 3;
+  topts.seed = seed;
+  harness::Testbed bed(topts);
+  if (!bed.wait_ready()) {
+    appendf(out, "--- health: service never became ready ---\n");
+    return;
+  }
+  sim::Simulator& sim = bed.sim();
+  bool stop = false;
+  cap::Capability home;
+  bool setup_ok = false;
+  for (int c = 0; c < 3; ++c) {
+    bed.client(c).spawn("health" + std::to_string(c), [&, c] {
+      net::Machine& m = bed.client(c);
+      rpc::RpcClient rpc(m);
+      rpc.prefer_server(bed.dir_port(),
+                      bed.dir_server(c % bed.num_dir_servers()).id());
+      dir::DirClient dc(rpc, bed.dir_port());
+      if (c == 0) {
+        auto res = dc.create_dir({"c"});
+        for (int i = 0; i < 40 && !res.is_ok(); ++i) {
+          sim.sleep_for(sim::msec(100));
+          res = dc.create_dir({"c"});
+        }
+        if (!res.is_ok()) return;
+        home = *res;
+        setup_ok = true;
+      } else {
+        while (!setup_ok && !stop) sim.sleep_for(sim::msec(50));
+      }
+      auto& rng = m.sim().rng();
+      while (!stop) {
+        const std::string key = "k" + std::to_string(rng.below(8));
+        const Status st = rng.below(100) < 50
+                              ? dc.append_row(home, key, {home})
+                              : dc.lookup(home, key).status();
+        if (infra_failure(st)) rpc.flush_port_cache(bed.dir_port());
+        sim.sleep_for(static_cast<sim::Duration>(rng.below(20'000)));
+      }
+    });
+  }
+  // Same per-vantage probers as the gray SLO cases (see run_slo): without
+  // them a degraded replica loses its observers to silent failover and the
+  // detector has nothing to score.
+  for (int c = 0; c < 3; ++c) {
+    for (int pr = 0; pr < 2; ++pr) {
+      bed.client(c).spawn(
+          "probe" + std::to_string(c) + "_" + std::to_string(pr), [&, c] {
+            net::Machine& m = bed.client(c);
+            rpc::RpcClient prpc(m);
+            dir::DirClient pdc(prpc, bed.dir_port());
+            const net::MachineId vantage =
+                bed.dir_server(c % bed.num_dir_servers()).id();
+            while (!setup_ok && !stop) sim.sleep_for(sim::msec(50));
+            while (!stop) {
+              prpc.flush_port_cache(bed.dir_port());
+              prpc.prefer_server(bed.dir_port(), vantage);
+              (void)pdc.lookup(home, "k0");
+              sim.sleep_for(sim::msec(50));
+            }
+          });
+    }
+  }
+  sim.run_for(sim::sec(2));  // healthy baseline
+  if (!setup_ok) {
+    stop = true;
+    sim.run_for(sim::sec(2));
+    appendf(out, "--- health: workload setup never succeeded ---\n");
+    return;
+  }
+  check::FaultStep step;
+  step.kind = check::FaultStep::Kind::slow_replica;
+  step.victim = 1;
+  step.factor = 8.0;
+  step.fault = sim::msec(2500);
+  step.settle = sim::msec(500);
+  check::run_step(bed, step);
+  sim.run_for(sim::sec(2));
+  stop = true;
+  sim.run_for(sim::msec(200));
+
+  const obs::HealthMonitor& hm = bed.cluster().health();
+  appendf(out,
+          "--- health scores (group+NVRAM, slow_replica victim dir1 8x, "
+          "seed %llu) ---\n",
+          static_cast<unsigned long long>(seed));
+  appendf(out, "  %-10s %-8s %12s %12s\n", "peer", "machine", "last score",
+          "suspicions");
+  const auto& peers = hm.peers();
+  std::vector<double> last_score(peers.size(), -1.0);
+  for (const obs::ScoreSample& s : hm.samples()) {
+    if (s.peer < last_score.size()) {
+      last_score[s.peer] = static_cast<double>(s.score_ms);
+    }
+  }
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    char score[24];
+    if (last_score[i] >= 0) {
+      std::snprintf(score, sizeof score, "%9.3f ms", last_score[i]);
+    } else {
+      std::snprintf(score, sizeof score, "%12s", "(unscored)");
+    }
+    char label[24];
+    std::snprintf(label, sizeof label, "%s%d", peers[i].group,
+                  peers[i].index);
+    appendf(out, "  %-10s %-8s %12s %12llu\n", label,
+            bed.cluster()
+                .machine(net::MachineId{
+                    static_cast<std::uint16_t>(peers[i].machine)})
+                .name()
+                .c_str(),
+            score,
+            static_cast<unsigned long long>(
+                hm.suspects_of(peers[i].group, peers[i].index)));
+  }
+  appendf(out, "  detector events:\n");
+  if (hm.events().empty()) appendf(out, "    (none)\n");
+  for (const obs::HealthEvent& e : hm.events()) {
+    appendf(out, "    t=%9.1f ms  %-7s %s%d %-8s score %8.3f baseline %8.3f\n",
+            ms(e.ts), e.what, e.group, e.peer, e.dimension, e.score,
+            e.baseline);
   }
   appendf(out, "\n");
 }
@@ -572,6 +847,7 @@ int main(int argc, char** argv) {
   int ops = 5;
   std::string out_path;
   bool slo = false;
+  bool health = false;
   std::string slo_json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string s = argv[i];
@@ -583,20 +859,28 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (s == "--slo") {
       slo = true;
+    } else if (s == "--health") {
+      health = true;
     } else if (s == "--slo-json" && i + 1 < argc) {
       slo = true;
       slo_json_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed N] [--ops N] [--out PATH] [--slo] "
-                   "[--slo-json PATH]\n",
+                   "[--slo-json PATH] [--health]\n",
                    argv[0]);
       return 2;
     }
   }
 
   std::string out;
-  if (slo) {
+  if (health) {
+    // Health mode stands alone, like SLO mode: a per-peer score table and
+    // the detector event log for one canonical slow-replica run.
+    appendf(out, "amoeba simreport --health (seed %llu)\n\n",
+            static_cast<unsigned long long>(seed));
+    run_health(seed, out);
+  } else if (slo) {
     // SLO mode stands alone: the scorecards (and their JSON) are what CI
     // diffs byte-for-byte across two same-seed runs.
     appendf(out, "amoeba simreport --slo (seed %llu)\n\n",

@@ -165,6 +165,14 @@ struct KindAgg {
   double worst_rejoin_ms = -1;
   double min_availability = 1.0;
   std::vector<double> p99s_ms;  // per-seed overall p99 under this fault
+  // Health-detector suspicion bookkeeping (cases carrying a "health"
+  // section). Gray runs count toward the false-negative rate: a gray
+  // fault whose phase was never resolved by detected_by=health is a miss.
+  std::uint64_t health_runs = 0;
+  std::uint64_t gray_runs = 0;
+  std::uint64_t gray_detected = 0;
+  std::uint64_t suspects = 0;
+  std::uint64_t false_suspects = 0;
 };
 
 std::string read_file(const std::string& path) {
@@ -236,6 +244,23 @@ int write_summary(const Args& a) {
           p != nullptr && p->is_number()) {
         agg.p99s_ms.push_back(p->as_num());
       }
+      if (const Json* h = entry.find("health"); h != nullptr) {
+        ++agg.health_runs;
+        const auto count = [&h](const char* key) -> std::uint64_t {
+          const Json* v = h->find(key);
+          return v != nullptr && v->is_number()
+                     ? static_cast<std::uint64_t>(v->as_num())
+                     : 0;
+        };
+        agg.suspects += count("suspects");
+        agg.false_suspects += count("false_suspects");
+        const Json* g = h->find("gray");
+        if (g != nullptr && g->as_bool()) {
+          ++agg.gray_runs;
+          const Json* d = h->find("detected");
+          if (d != nullptr && d->as_bool()) ++agg.gray_detected;
+        }
+      }
     }
   }
 
@@ -251,6 +276,10 @@ int write_summary(const Args& a) {
               static_cast<unsigned long long>(parsed));
   double fleet_worst_recover = -1;
   std::vector<double> fleet_p99s;
+  std::uint64_t fleet_health_runs = 0;
+  std::uint64_t fleet_gray_runs = 0;
+  std::uint64_t fleet_gray_detected = 0;
+  std::uint64_t fleet_false_suspects = 0;
   Json jkinds = Json::object();
   for (auto& [name, agg] : kinds) {
     std::sort(agg.p99s_ms.begin(), agg.p99s_ms.end());
@@ -260,6 +289,10 @@ int write_summary(const Args& a) {
         std::max(fleet_worst_recover, agg.worst_recover_ms);
     fleet_p99s.insert(fleet_p99s.end(), agg.p99s_ms.begin(),
                       agg.p99s_ms.end());
+    fleet_health_runs += agg.health_runs;
+    fleet_gray_runs += agg.gray_runs;
+    fleet_gray_detected += agg.gray_detected;
+    fleet_false_suspects += agg.false_suspects;
 
     Json jk = Json::object();
     jk.set("runs", Json::uinteger(agg.runs));
@@ -273,6 +306,16 @@ int write_summary(const Args& a) {
     jk.set("worst_time_to_rejoin_ms", ms(agg.worst_rejoin_ms));
     jk.set("min_availability", Json::num(agg.min_availability));
     jk.set("p99_of_p99s_ms", ms(p99_of_p99s));
+    if (agg.health_runs != 0) {
+      jk.set("suspects", Json::uinteger(agg.suspects));
+      jk.set("false_suspects", Json::uinteger(agg.false_suspects));
+      if (agg.gray_runs != 0) {
+        jk.set("gray_detected", Json::uinteger(agg.gray_detected));
+        jk.set("suspicion_false_negative_rate",
+               Json::num(1.0 - static_cast<double>(agg.gray_detected) /
+                                   static_cast<double>(agg.gray_runs)));
+      }
+    }
     jkinds.set(name, std::move(jk));
 
     std::printf(
@@ -291,7 +334,30 @@ int write_summary(const Args& a) {
   fleet.set("p99_of_p99s_ms", fleet_p99s.empty()
                                   ? Json::null()
                                   : Json::num(percentile(fleet_p99s, 99)));
+  // Fleet suspicion quality: mean false suspicion transitions per scored
+  // case (a healthy fleet must sit at exactly 0), and the fraction of
+  // gray faults the differential detector failed to name.
+  fleet.set("suspicion_false_positive_rate",
+            fleet_health_runs == 0
+                ? Json::null()
+                : Json::num(static_cast<double>(fleet_false_suspects) /
+                            static_cast<double>(fleet_health_runs)));
+  fleet.set("suspicion_false_negative_rate",
+            fleet_gray_runs == 0
+                ? Json::null()
+                : Json::num(1.0 -
+                            static_cast<double>(fleet_gray_detected) /
+                                static_cast<double>(fleet_gray_runs)));
   root.set("fleet", std::move(fleet));
+  if (fleet_health_runs != 0) {
+    std::printf(
+        "  suspicion quality: %llu false suspicion(s) over %llu scored "
+        "case(s); %llu/%llu gray fault(s) detected\n",
+        static_cast<unsigned long long>(fleet_false_suspects),
+        static_cast<unsigned long long>(fleet_health_runs),
+        static_cast<unsigned long long>(fleet_gray_detected),
+        static_cast<unsigned long long>(fleet_gray_runs));
+  }
 
   std::FILE* f = std::fopen(a.summary.c_str(), "w");
   if (f == nullptr) {

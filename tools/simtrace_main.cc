@@ -126,9 +126,11 @@ int main(int argc, char** argv) {
   const obs::Trace& trace = bed.trace();
   std::string json = trace.to_chrome_json();
   // Splice the availability counter tracks (one sample per timeline
-  // window) into the traceEvents array; fragments lead with ",\n".
+  // window) and the per-peer health-score tracks (one sample per detector
+  // evaluation) into the traceEvents array; fragments lead with ",\n".
   std::string counters;
   bed.timeline().chrome_counter_events(counters);
+  bed.cluster().health().chrome_counter_events(counters);
   const std::size_t close = json.rfind("\n]");
   if (!counters.empty() && close != std::string::npos) {
     json.insert(close, counters);
